@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmark suite.
+
+Every ``bench_eXX_*.py`` regenerates one experiment from DESIGN.md's
+per-experiment index: it runs the workload under ``pytest-benchmark``
+timing, prints the experiment's table/series through
+:mod:`repro.analysis.reporting`, and *asserts the claim's shape* (who
+wins, what is bounded by what) so a regression in the reproduced result
+fails the suite rather than silently changing a number.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline (they are also printed into the captured output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import print_report, render_series, render_table
+
+__all__ = [
+    "print_report",
+    "render_series",
+    "render_table",
+    "run_once",
+    "np",
+]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` once through pytest-benchmark and return its result.
+
+    Experiment workloads are deterministic and expensive; a single timed
+    round keeps the suite fast while still recording wall-clock cost.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

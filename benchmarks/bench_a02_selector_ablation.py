@@ -1,0 +1,115 @@
+"""A2 — Ablation: point selectors for the vector-consensus reduction.
+
+DESIGN.md design-choice callout: the reduction (Section 1 of the paper)
+outputs "a point of the decided polytope"; *which* point matters.  The
+selector must be Lipschitz w.r.t. the Hausdorff metric or epsilon-close
+polytopes map to far-apart points.  We measure the empirical Lipschitz
+ratio ``|sel(P) - sel(Q)| / d_H(P, Q)`` on corner-truncation pairs (the
+adversarial perturbation: d_H = eps but the vertex *count* changes) for
+
+* the Steiner point        — provably Lipschitz (used by the reduction),
+* the vertex centroid      — blows up: truncating one corner moves it O(1),
+* the Chebyshev centre     — discontinuous under flat perturbations.
+"""
+
+import numpy as np
+
+from repro.geometry.halfspaces import chebyshev_center, hrep_of_hull
+from repro.geometry.hausdorff import hausdorff_distance
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.steiner import steiner_lipschitz_bound, steiner_point
+
+from _harness import print_report, render_table, run_once
+
+
+def _selectors():
+    def centroid(poly):
+        return poly.centroid
+
+    def chebyshev(poly):
+        a, b = hrep_of_hull(poly.vertices)
+        center, _ = chebyshev_center(a, b)
+        return center
+
+    return {
+        "steiner": steiner_point,
+        "vertex-centroid": centroid,
+        "chebyshev-center": chebyshev,
+    }
+
+
+def _truncation_pairs(eps, count=12):
+    """(P, Q) pairs with d_H(P, Q) <= eps via corner truncation."""
+    rng = np.random.default_rng(7)
+    pairs = []
+    while len(pairs) < count:
+        pts = rng.uniform(-1.0, 1.0, size=(5, 2))
+        poly = ConvexPolytope.from_points(pts)
+        if poly.num_vertices < 3:
+            continue
+        verts = poly.vertices
+        corner_idx = 0
+        corner = verts[corner_idx]
+        others = np.delete(verts, corner_idx, axis=0)
+        # Truncate the corner: replace it by two points eps toward its
+        # neighbours (Hausdorff distance O(eps), vertex count +1).
+        neighbours = others[
+            np.argsort(np.linalg.norm(others - corner, axis=1))[:2]
+        ]
+        cut = [
+            corner + eps * (nb - corner) / np.linalg.norm(nb - corner)
+            for nb in neighbours
+        ]
+        truncated = ConvexPolytope.from_points(np.vstack([others, cut]))
+        if truncated.num_vertices <= poly.num_vertices:
+            continue
+        pairs.append((poly, truncated))
+    return pairs
+
+
+def _ratios(eps):
+    pairs = _truncation_pairs(eps)
+    worst = {name: 0.0 for name in _selectors()}
+    for poly, truncated in pairs:
+        dist = hausdorff_distance(poly, truncated)
+        if dist <= 0:
+            continue
+        for name, selector in _selectors().items():
+            moved = float(
+                np.linalg.norm(selector(poly) - selector(truncated))
+            )
+            worst[name] = max(worst[name], moved / dist)
+    return worst
+
+
+def bench_a02_selector_ablation(benchmark):
+    run_once(benchmark, _ratios, 1e-3)
+
+    c_2 = steiner_lipschitz_bound(2)
+    rows = []
+    results = {}
+    for eps in (1e-2, 1e-3, 1e-4):
+        worst = _ratios(eps)
+        results[eps] = worst
+        rows.append(
+            [eps, worst["steiner"], worst["vertex-centroid"],
+             worst["chebyshev-center"]]
+        )
+        # The reduction's selector respects its Lipschitz certificate.
+        assert worst["steiner"] <= c_2 + 1e-6, eps
+
+    # The centroid's ratio diverges as the perturbation shrinks (the move
+    # is O(1) while d_H -> 0); by eps = 1e-4 it dwarfs the Steiner bound.
+    assert results[1e-4]["vertex-centroid"] > 10 * c_2
+    assert results[1e-4]["vertex-centroid"] > results[1e-2]["vertex-centroid"]
+
+    print_report(
+        render_table(
+            "A2 selector ablation — empirical Lipschitz ratio "
+            f"|sel(P)-sel(Q)| / d_H(P,Q) under corner truncation "
+            f"(Steiner certificate c_2 = {c_2:.3f})",
+            ["d_H scale", "steiner", "vertex-centroid", "chebyshev-center"],
+            rows,
+            width=16,
+        )
+    )

@@ -1,0 +1,62 @@
+"""E1 — Convergence figure (paper Eq. 18).
+
+Claim operationalized: the per-round disagreement
+``max_{i,j} d_H(h_i[t], h_j[t])`` of fault-free processes is bounded by the
+envelope ``(1 - 1/n)^t * Omega`` and decays geometrically to below epsilon
+by round ``t_end``.  Series over n at d = 2 with a starved faulty outlier
+(the adversarial workload that actually produces round-0 disagreement).
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import convergence_series
+from repro.core.runner import run_convex_hull_consensus
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import TargetedDelayScheduler
+from repro.workloads import gaussian_cluster, with_outliers
+
+from _harness import print_report, render_series, run_once
+
+EPS = 0.1
+SWEEP_N = (5, 8, 11)
+
+
+def _run(n: int):
+    inputs = with_outliers(
+        gaussian_cluster(n, 2, spread=0.6, seed=n), [n - 1], magnitude=4.0, seed=n
+    )
+    plan = FaultPlan.silent_faulty([n - 1])
+    sched = TargetedDelayScheduler(slow=frozenset({n - 1}), seed=7)
+    result = run_convex_hull_consensus(
+        inputs, 1, EPS, fault_plan=plan, scheduler=sched, input_bounds=(-5, 5)
+    )
+    return result, convergence_series(result.trace)
+
+
+def bench_e01_convergence(benchmark):
+    result, _ = run_once(benchmark, _run, 8)
+
+    for n in SWEEP_N:
+        res, series = _run(n)
+        # Shape assertions (Eq. 18 + Theorem 2):
+        for t, dis, env in zip(series.rounds, series.disagreement, series.envelope):
+            assert dis <= env + 1e-9, (n, t)
+        assert series.disagreement[-1] < EPS
+        rate = series.empirical_rate()
+        gamma = 1.0 - 1.0 / n
+        if rate is not None:
+            assert rate < gamma  # empirical contraction beats the bound
+
+        show = series.rounds[: min(12, len(series.rounds))]
+        print_report(
+            render_series(
+                f"E1 convergence (n={n}, d=2, f=1, eps={EPS}) — "
+                f"disagreement vs (1-1/n)^t envelope, t_end={res.config.t_end}",
+                "round",
+                show,
+                {
+                    "disagreement": series.disagreement[: len(show)],
+                    "envelope": series.envelope[: len(show)],
+                },
+            )
+        )

@@ -1,0 +1,67 @@
+"""E2 — Termination round table (paper Eq. 19).
+
+Claim operationalized: the analytic ``t_end`` (computable from a-priori
+bounds alone) is always sufficient — the measured round at which
+disagreement first drops below epsilon never exceeds it — and it scales
+as predicted (up with n, up as epsilon shrinks).
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import convergence_series
+from repro.core.config import CCConfig
+from repro.core.runner import run_convex_hull_consensus
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import TargetedDelayScheduler
+from repro.workloads import gaussian_cluster, with_outliers
+
+from _harness import print_report, render_table, run_once
+
+CASES = [
+    # (n, d, eps)
+    (5, 1, 1.0),
+    (5, 1, 0.1),
+    (5, 1, 0.01),
+    (8, 1, 0.1),
+    (8, 2, 1.0),
+    (8, 2, 0.1),
+    (11, 2, 0.1),
+]
+
+
+def _run_case(n, d, eps):
+    inputs = with_outliers(
+        gaussian_cluster(n, d, spread=0.5, seed=n + d), [n - 1], magnitude=3.0, seed=d
+    )
+    plan = FaultPlan.silent_faulty([n - 1])
+    sched = TargetedDelayScheduler(slow=frozenset({n - 1}), seed=3)
+    result = run_convex_hull_consensus(
+        inputs, 1, eps, fault_plan=plan, scheduler=sched, input_bounds=(-4, 4)
+    )
+    series = convergence_series(result.trace)
+    return result.config.t_end, series.rounds_to(eps)
+
+
+def bench_e02_tend(benchmark):
+    run_once(benchmark, _run_case, 8, 2, 0.1)
+
+    rows = []
+    measured_by_case = {}
+    for n, d, eps in CASES:
+        t_end, measured = _run_case(n, d, eps)
+        measured_by_case[(n, d, eps)] = (t_end, measured)
+        assert measured is not None, "never reached epsilon"
+        assert measured <= t_end  # Eq. 19 is sufficient
+        rows.append([n, d, eps, t_end, measured, t_end - measured])
+
+    # Scaling shape: t_end grows when eps shrinks and when n grows.
+    assert measured_by_case[(5, 1, 0.01)][0] > measured_by_case[(5, 1, 0.1)][0]
+    assert measured_by_case[(8, 1, 0.1)][0] > measured_by_case[(5, 1, 0.1)][0]
+
+    print_report(
+        render_table(
+            "E2 analytic t_end (Eq. 19) vs measured rounds-to-epsilon",
+            ["n", "d", "eps", "t_end", "measured", "slack"],
+            rows,
+        )
+    )

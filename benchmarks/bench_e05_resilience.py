@@ -1,0 +1,62 @@
+"""E5 — The resilience bound n >= (d+2)f + 1 (paper Eq. 2 / Lemma 2).
+
+Claim operationalized: at or above the bound the round-0 polytope
+``h_i[0]`` is *never* empty (Tverberg's theorem guarantees it for
+``|X_i| >= n - f >= (d+1)f + 1``), while below the bound worst-case inputs
+(simplex corners) make it empty — the algorithm is infeasible exactly
+where the paper says it must be.
+"""
+
+import numpy as np
+
+from repro.geometry.intersection import subset_intersection_is_nonempty
+from repro.workloads import simplex_corners, uniform_box
+
+from _harness import print_report, render_table, run_once
+
+
+def _empty_rate(n, d, f, worst_case: bool, trials: int = 8):
+    """Fraction of views of size n - f whose subset intersection is empty."""
+    empties = 0
+    for seed in range(trials):
+        if worst_case:
+            pts = simplex_corners(n - f, d)
+        else:
+            pts = uniform_box(n - f, d, seed=seed)
+        if not subset_intersection_is_nonempty(pts, f):
+            empties += 1
+    return empties / trials
+
+
+def bench_e05_resilience(benchmark):
+    run_once(benchmark, _empty_rate, 5, 2, 1, True)
+
+    rows = []
+    for d in (1, 2, 3):
+        for f in (1, 2):
+            bound = (d + 2) * f + 1
+            for n in (bound - 1, bound, bound + 2):
+                worst = _empty_rate(n, d, f, worst_case=True)
+                random_rate = _empty_rate(n, d, f, worst_case=False)
+                at_or_above = n >= bound
+                if at_or_above:
+                    # Tverberg guarantee: never empty, any inputs.
+                    assert worst == 0.0, (n, d, f)
+                    assert random_rate == 0.0, (n, d, f)
+                rows.append(
+                    [d, f, n, bound, "yes" if at_or_above else "NO",
+                     worst, random_rate]
+                )
+
+    # Below the bound, the worst case must actually break for some config.
+    below_rows = [r for r in rows if r[4] == "NO"]
+    assert any(r[5] > 0 for r in below_rows)
+
+    print_report(
+        render_table(
+            "E5 resilience bound (Eq. 2): empty-h[0] frequency below/at/above "
+            "n = (d+2)f+1 (views of size n-f)",
+            ["d", "f", "n", "bound", "n>=bound", "empty(worst)", "empty(random)"],
+            rows,
+        )
+    )

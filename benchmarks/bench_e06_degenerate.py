@@ -1,0 +1,84 @@
+"""E6 — Degenerate cases (paper Section 6).
+
+Claims operationalized:
+
+* at exactly ``n = (d+2)f + 1`` there exist inputs for which the decided
+  polytope is a *single point* — the classic construction is the square's
+  corners plus its centre (every drop-1 subset hull pins the centre);
+* with identical inputs the output is a single point for any n (the
+  paper's "trivial example");
+* for n above the bound on generic spread inputs (points on a circle) the
+  output has strictly positive measure and it grows with n — "in general
+  ... the output polytopes will contain infinite number of points".
+"""
+
+import numpy as np
+
+from repro.core.runner import run_convex_hull_consensus
+from repro.geometry.width import aspect_ratio, min_width
+from repro.workloads import identical
+
+from _harness import print_report, render_table, run_once
+
+D, F = 2, 1
+BOUND = (D + 2) * F + 1  # 5
+
+
+def _square_plus_center():
+    return np.array(
+        [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.5, 0.5]]
+    )
+
+
+def _circle(n):
+    theta = np.linspace(0.0, 2 * np.pi, n, endpoint=False)
+    return np.column_stack([np.cos(theta), np.sin(theta)])
+
+
+def _run(inputs):
+    result = run_convex_hull_consensus(inputs, F, 0.05, seed=1)
+    outs = list(result.fault_free_outputs.values())
+    diameter = max(o.diameter for o in outs)
+    measure = max(o.measure() for o in outs)
+    narrow = max(min_width(o) for o in outs)
+    return diameter, measure, narrow
+
+
+def bench_e06_degenerate(benchmark):
+    run_once(benchmark, _run, _square_plus_center())
+
+    rows = []
+    results = {}
+    cases = {
+        ("square+center", BOUND): _square_plus_center(),
+        ("identical", BOUND): identical(BOUND, D, value=[0.25, 0.25]),
+        ("identical", BOUND + 4): identical(BOUND + 4, D, value=[0.25, 0.25]),
+        ("circle", BOUND): _circle(BOUND),
+        ("circle", BOUND + 2): _circle(BOUND + 2),
+        ("circle", BOUND + 4): _circle(BOUND + 4),
+    }
+    for (workload, n), inputs in cases.items():
+        diameter, measure, narrow = _run(inputs)
+        results[(workload, n)] = (diameter, measure)
+        rows.append([workload, n, diameter, measure, narrow])
+
+    # Single-point collapse at the bound for the pinned construction.
+    d_pin, m_pin = results[("square+center", BOUND)]
+    assert d_pin < 1e-7
+    assert m_pin < 1e-9
+    # Identical inputs collapse trivially at any n.
+    assert results[("identical", BOUND)][0] < 1e-9
+    assert results[("identical", BOUND + 4)][0] < 1e-9
+    # Generic spread inputs above the bound: positive and growing measure.
+    measures = [results[("circle", n)][1] for n in (BOUND, BOUND + 2, BOUND + 4)]
+    assert measures[-1] > 1e-3
+    assert measures[-1] > measures[0]
+
+    print_report(
+        render_table(
+            f"E6 degenerate cases (d={D}, f={F}, bound n={BOUND}) — output "
+            "diameter / measure",
+            ["workload", "n", "max diameter", "max measure", "max min-width"],
+            rows,
+        )
+    )

@@ -1,0 +1,114 @@
+"""E7 — Vector consensus by reduction (paper Section 1).
+
+Claim operationalized: the CC + Steiner-point reduction solves approximate
+vector consensus (validity + epsilon-agreement on points), matching the
+dedicated point-valued baseline under identical adversaries — and the
+baseline's decision always lies inside CC's decided polytope, showing the
+polytope output strictly generalises the point output.
+"""
+
+import numpy as np
+
+from repro.baselines.vector_consensus import run_baseline_vector_consensus
+from repro.core.runner import run_convex_hull_consensus
+from repro.core.vector_consensus import run_vector_consensus
+from repro.geometry.polytope import ConvexPolytope
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import RandomScheduler, TargetedDelayScheduler
+from repro.workloads import gaussian_cluster, two_clusters, with_outliers
+
+from _harness import print_report, render_table, run_once
+
+EPS = 0.05
+
+
+def _workloads():
+    outlier = with_outliers(
+        gaussian_cluster(8, 2, seed=1), [7], magnitude=4.0, seed=1
+    )
+    return {
+        "gaussian": (gaussian_cluster(8, 2, seed=0), FaultPlan.none(), None),
+        "two-clusters": (two_clusters(8, 2, seed=2), FaultPlan.none(), None),
+        "outlier-starved": (
+            outlier,
+            FaultPlan.silent_faulty([7]),
+            frozenset({7}),
+        ),
+    }
+
+
+def _run_pair(name):
+    inputs, plan, slow = _workloads()[name]
+    bounds = (-6.0, 6.0)
+
+    def sched():
+        if slow:
+            return TargetedDelayScheduler(slow=slow, seed=5)
+        return RandomScheduler(seed=5)
+
+    reduction = run_vector_consensus(
+        inputs, 1, eps=EPS, fault_plan=plan, scheduler=sched(), input_bounds=bounds
+    )
+    baseline = run_baseline_vector_consensus(
+        inputs, 1, eps=EPS, fault_plan=plan, scheduler=sched(), input_bounds=bounds
+    )
+    cc = run_convex_hull_consensus(
+        inputs, 1, EPS, fault_plan=plan, scheduler=sched(), input_bounds=bounds
+    )
+    return inputs, plan, reduction, baseline, cc
+
+
+def bench_e07_vector(benchmark):
+    run_once(benchmark, _run_pair, "gaussian")
+
+    rows = []
+    for name in _workloads():
+        inputs, plan, reduction, baseline, cc = _run_pair(name)
+        correct = np.array(
+            [inputs[i] for i in range(len(inputs)) if i not in plan.faulty]
+        )
+        hull = ConvexPolytope.from_points(correct)
+
+        red_spread = reduction.max_pairwise_distance()
+        base_spread = baseline.max_pairwise_distance()
+        assert red_spread < EPS
+        assert base_spread < EPS
+        for point in reduction.fault_free_points.values():
+            assert hull.contains_point(point, tol=1e-6)
+        for point in baseline.fault_free_points.values():
+            assert hull.contains_point(point, tol=1e-6)
+        # The polytope output generalises the point output.
+        contained = sum(
+            1
+            for pid, point in baseline.fault_free_points.items()
+            if cc.outputs[pid].contains_point(point, tol=1e-4)
+        )
+        assert contained == len(baseline.fault_free_points)
+
+        rows.append(
+            [
+                name,
+                red_spread,
+                base_spread,
+                reduction.cc_result.trace.messages_sent,
+                baseline.trace.messages_sent,
+                contained,
+            ]
+        )
+
+    print_report(
+        render_table(
+            f"E7 vector consensus (eps={EPS}) — CC+Steiner reduction vs "
+            "point-valued baseline",
+            [
+                "workload",
+                "reduction spread",
+                "baseline spread",
+                "msgs (reduction)",
+                "msgs (baseline)",
+                "pts in CC poly",
+            ],
+            rows,
+            width=16,
+        )
+    )

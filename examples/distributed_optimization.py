@@ -1,0 +1,79 @@
+"""Distributed facility placement via convex hull function optimization.
+
+Section 7 of the paper: minimise a cost function over the convex hull of
+the correct inputs.  Here, data centers each propose a location for a new
+shared facility; some proposals are corrupted.  The fleet runs the
+two-step algorithm (convex hull consensus, then local minimisation) to
+find a placement that
+
+* lies inside the hull of correct proposals       (Validity),
+* has near-identical cost at every site           (weak beta-Optimality),
+* needs no synchrony and survives f crashes       (Termination).
+
+Also demonstrated: the Theorem 4 caveat — the *locations* are close here
+because the cost is strongly convex, but the paper proves point agreement
+cannot be guaranteed for arbitrary costs.
+
+Run:  python examples/distributed_optimization.py
+"""
+
+import numpy as np
+
+from repro import FaultPlan, QuadraticCost, run_function_optimization
+from repro.core.costs import LinearCost
+
+N_SITES = 8
+F = 1
+
+rng = np.random.default_rng(11)
+proposals = rng.uniform(-1.0, 1.0, size=(N_SITES, 2))
+proposals[7] = [4.0, -4.0]  # corrupted proposal
+fault_plan = FaultPlan.silent_faulty([7])
+
+# Cost: squared distance to the company's network hub at (0.3, 0.2),
+# Lipschitz on the proposal domain.
+hub = np.array([0.3, 0.2])
+cost = QuadraticCost(hub)
+
+BETA = 0.05  # sites must value their answers within 0.05 of each other
+result = run_function_optimization(
+    proposals,
+    F,
+    beta=BETA,
+    cost=cost,
+    fault_plan=fault_plan,
+    seed=5,
+    input_bounds=(-5.0, 5.0),
+)
+
+print(f"Lipschitz bound b = {result.lipschitz:.3f}")
+print(f"consensus epsilon = beta / b = {result.cc_result.config.eps:.4f}")
+print(f"rounds: {result.cc_result.config.t_end}")
+print()
+
+for pid, y in sorted(result.minimizers.items()):
+    if pid in result.cc_result.trace.faulty:
+        continue
+    print(
+        f"site {pid}: placement {np.round(y, 4)}  cost {result.values[pid]:.5f}"
+    )
+
+print(f"\ncost spread  = {result.cost_spread():.2e}  (< beta = {BETA})")
+print(f"point spread = {result.point_spread():.2e}  (small here because the")
+print("   cost is strongly convex; NOT guaranteed in general - Theorem 4)")
+assert result.cost_spread() < BETA
+
+# ----------------------------------------------------------------------
+# A linear cost (e.g. "minimise northward exposure") — exact vertex math.
+# ----------------------------------------------------------------------
+north = LinearCost([0.0, 1.0])
+linear_result = run_function_optimization(
+    proposals, F, beta=0.05, cost=north,
+    fault_plan=fault_plan, seed=5, input_bounds=(-5.0, 5.0),
+)
+print(
+    f"\nlinear cost: every site picks the southmost feasible vertex; "
+    f"cost spread {linear_result.cost_spread():.2e}"
+)
+assert linear_result.cost_spread() < 0.05
+print("weak beta-optimality holds for both costs.")

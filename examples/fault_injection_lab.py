@@ -1,0 +1,85 @@
+"""Fault-injection lab: watch the guarantees survive every crash pattern.
+
+Sweeps crash timing (round, mid-broadcast cut) x adversarial schedulers
+over one workload, prints a matrix of outcomes, and verifies the paper's
+properties plus the transition-matrix theory (Theorem 1, Lemma 3, Claim 1)
+on every cell.  This is the library's "chaos testing" entry point.
+
+Run:  python examples/fault_injection_lab.py
+"""
+
+import numpy as np
+
+from repro import FaultPlan, check_all, run_convex_hull_consensus
+from repro.analysis import render_table
+from repro.core.matrix import (
+    check_claim1,
+    ergodicity_coefficients,
+    verify_state_evolution,
+)
+from repro.runtime.scheduler import (
+    BurstyScheduler,
+    RandomScheduler,
+    TargetedDelayScheduler,
+)
+
+N, F, D = 6, 1, 2
+VICTIM = N - 1
+
+rng = np.random.default_rng(123)
+inputs = rng.uniform(-1.0, 1.0, size=(N, D))
+inputs[VICTIM] = [0.95, -0.95]  # extreme incorrect input
+
+SCHEDULERS = {
+    "random": lambda: RandomScheduler(seed=8),
+    "bursty": lambda: BurstyScheduler(seed=8),
+    "starve-victim": lambda: TargetedDelayScheduler(
+        slow=frozenset({VICTIM}), seed=8
+    ),
+}
+
+CRASHES = {
+    "no-crash": FaultPlan.silent_faulty([VICTIM]),
+    "round0 cut=0": FaultPlan.crash_at({VICTIM: (0, 0)}),
+    "round0 cut=2": FaultPlan.crash_at({VICTIM: (0, 2)}),
+    "round1 cut=1": FaultPlan.crash_at({VICTIM: (1, 1)}),
+    }
+
+rows = []
+for sched_name, sched_factory in SCHEDULERS.items():
+    for crash_name, plan in CRASHES.items():
+        result = run_convex_hull_consensus(
+            inputs, F, 0.25,
+            fault_plan=plan, scheduler=sched_factory(),
+            input_bounds=(-1.0, 1.0),
+        )
+        report = check_all(result.trace)
+        theory_ok = (
+            verify_state_evolution(result.trace).ok
+            and ergodicity_coefficients(result.trace).ok
+            and check_claim1(result.trace)
+        )
+        rows.append(
+            [
+                sched_name,
+                crash_name,
+                len(result.report.decided),
+                result.trace.messages_sent,
+                report.agreement.disagreement,
+                report.ok,
+                theory_ok,
+            ]
+        )
+        assert report.ok and theory_ok, (sched_name, crash_name)
+
+print(
+    render_table(
+        f"fault-injection matrix (n={N}, f={F}, d={D}, eps=0.25)",
+        ["scheduler", "crash", "decided", "msgs", "disagreement", "props", "theory"],
+        rows,
+        width=14,
+    )
+)
+print("\nEvery cell satisfies Validity, eps-Agreement, Termination,")
+print("Lemma 6 containment, stable-vector properties, Theorem 1, Lemma 3,")
+print("and Claim 1.")

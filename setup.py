@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+environments whose setuptools predates PEP 660 (no `wheel` package).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — Asynchronous Convex Hull Consensus under Crash Faults.
+
+A complete, executable reproduction of Tseng & Vaidya, "Asynchronous
+Convex Hull Consensus in the Presence of Crash Faults" (PODC 2014):
+
+* :mod:`repro.geometry` — the computational-geometry substrate (hulls,
+  subset-hull intersections, the polytope combination ``L``, Hausdorff
+  distance, Tverberg machinery);
+* :mod:`repro.runtime` — the asynchronous system model (FIFO exactly-once
+  channels, adversarial schedulers, crash faults with incorrect inputs,
+  the stable-vector primitive), as a deterministic discrete-event
+  simulator plus an asyncio runtime;
+* :mod:`repro.core` — Algorithm CC, transition-matrix analysis, invariant
+  checkers, the vector-consensus reduction, two-step function
+  optimization, and the Theorem 4 constructions;
+* :mod:`repro.baselines` — scalar, coordinate-wise, and point-valued
+  vector-consensus baselines;
+* :mod:`repro.workloads` / :mod:`repro.analysis` — inputs, scenarios,
+  metrics, and report rendering for the experiment suite.
+
+Quickstart::
+
+    import numpy as np
+    from repro import run_convex_hull_consensus
+
+    inputs = np.random.default_rng(0).uniform(-1, 1, size=(8, 2))
+    result = run_convex_hull_consensus(inputs, f=1, eps=0.01)
+    for pid, polytope in result.fault_free_outputs.items():
+        print(pid, polytope.vertices)
+"""
+
+from .core import (
+    CCConfig,
+    CCResult,
+    LinearCost,
+    QuadraticCost,
+    ResilienceError,
+    Theorem4Cost,
+    check_all,
+    required_processes,
+    run_convex_hull_consensus,
+    run_function_optimization,
+    run_vector_consensus,
+)
+from .geometry import ConvexPolytope, hausdorff_distance
+from .runtime import (
+    CrashSpec,
+    FaultPlan,
+    RandomScheduler,
+    TargetedDelayScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCConfig",
+    "CCResult",
+    "ConvexPolytope",
+    "CrashSpec",
+    "FaultPlan",
+    "LinearCost",
+    "QuadraticCost",
+    "RandomScheduler",
+    "ResilienceError",
+    "TargetedDelayScheduler",
+    "Theorem4Cost",
+    "check_all",
+    "hausdorff_distance",
+    "required_processes",
+    "run_convex_hull_consensus",
+    "run_function_optimization",
+    "run_vector_consensus",
+    "__version__",
+]

@@ -1,0 +1,143 @@
+"""ASCII rendering of 2-d polytopes and point sets.
+
+Dependency-free visualisation for examples and the CLI: draws polytope
+boundaries/interiors and labelled point sets on a character canvas.  Not a
+plotting library — just enough to *see* a decided region against the
+inputs in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.polytope import ConvexPolytope
+
+
+@dataclass
+class AsciiCanvas:
+    """A fixed-size character canvas over a world-coordinate window."""
+
+    width: int = 60
+    height: int = 24
+    lower: np.ndarray = field(default_factory=lambda: np.array([-1.0, -1.0]))
+    upper: np.ndarray = field(default_factory=lambda: np.array([1.0, 1.0]))
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 4:
+            raise ValueError("canvas too small to draw anything")
+        self.lower = np.asarray(self.lower, dtype=float)
+        self.upper = np.asarray(self.upper, dtype=float)
+        if np.any(self.upper <= self.lower):
+            raise ValueError("canvas window corners out of order")
+        self._grid = [[" "] * self.width for _ in range(self.height)]
+
+    # ------------------------------------------------------------------
+    def _to_cell(self, point) -> tuple[int, int] | None:
+        p = np.asarray(point, dtype=float).reshape(-1)
+        rel = (p - self.lower) / (self.upper - self.lower)
+        if np.any(rel < 0) or np.any(rel > 1):
+            return None
+        col = min(int(rel[0] * (self.width - 1)), self.width - 1)
+        row = min(int((1.0 - rel[1]) * (self.height - 1)), self.height - 1)
+        return row, col
+
+    def _cell_center(self, row: int, col: int) -> np.ndarray:
+        fx = col / (self.width - 1)
+        fy = 1.0 - row / (self.height - 1)
+        return self.lower + np.array([fx, fy]) * (self.upper - self.lower)
+
+    # ------------------------------------------------------------------
+    def plot_points(self, points, marker: str = "o") -> None:
+        """Mark each point with ``marker`` (points outside are skipped)."""
+        for p in np.asarray(points, dtype=float).reshape(-1, 2):
+            cell = self._to_cell(p)
+            if cell is not None:
+                row, col = cell
+                self._grid[row][col] = marker[0]
+
+    def plot_polytope(
+        self, poly: ConvexPolytope, *, fill: str = ".", edge: str = "#"
+    ) -> None:
+        """Rasterise a 2-d polytope: interior ``fill``, boundary ``edge``.
+
+        A cell is interior when its centre is a member; it is boundary
+        when interior but at least one 4-neighbour centre is not.  Cells
+        already holding point markers are not overwritten by fill.
+        """
+        if poly.dim != 2:
+            raise ValueError("only 2-d polytopes can be drawn")
+        if poly.is_empty:
+            return
+        membership = np.zeros((self.height, self.width), dtype=bool)
+        for row in range(self.height):
+            for col in range(self.width):
+                membership[row, col] = poly.contains_point(
+                    self._cell_center(row, col), tol=1e-9
+                )
+        for row in range(self.height):
+            for col in range(self.width):
+                if not membership[row, col]:
+                    continue
+                neighbours = [
+                    membership[r, c]
+                    for r, c in (
+                        (row - 1, col),
+                        (row + 1, col),
+                        (row, col - 1),
+                        (row, col + 1),
+                    )
+                    if 0 <= r < self.height and 0 <= c < self.width
+                ]
+                char = edge if not all(neighbours) or len(neighbours) < 4 else fill
+                if self._grid[row][col] == " ":
+                    self._grid[row][col] = char
+
+    # ------------------------------------------------------------------
+    def render(self, title: str | None = None) -> str:
+        border = "+" + "-" * self.width + "+"
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(border)
+        for row in self._grid:
+            lines.append("|" + "".join(row) + "|")
+        lines.append(border)
+        lines.append(
+            f"x: [{self.lower[0]:.3g}, {self.upper[0]:.3g}]  "
+            f"y: [{self.lower[1]:.3g}, {self.upper[1]:.3g}]"
+        )
+        return "\n".join(lines)
+
+
+def plot_execution(
+    inputs,
+    polytope: ConvexPolytope,
+    *,
+    faulty: set[int] | frozenset[int] = frozenset(),
+    width: int = 60,
+    height: int = 24,
+    title: str | None = None,
+) -> str:
+    """One-call picture: inputs (``o`` correct / ``x`` faulty) + decision.
+
+    The window is fitted to the inputs with 15% padding.
+    """
+    pts = np.asarray(inputs, dtype=float)
+    if pts.shape[1] != 2:
+        raise ValueError("plot_execution draws 2-d executions only")
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    pad = 0.15 * np.maximum(hi - lo, 1e-9)
+    canvas = AsciiCanvas(
+        width=width, height=height, lower=lo - pad, upper=hi + pad
+    )
+    canvas.plot_polytope(polytope)
+    correct = [pts[i] for i in range(len(pts)) if i not in faulty]
+    bad = [pts[i] for i in range(len(pts)) if i in faulty]
+    if correct:
+        canvas.plot_points(np.array(correct), marker="o")
+    if bad:
+        canvas.plot_points(np.array(bad), marker="x")
+    return canvas.render(title=title)

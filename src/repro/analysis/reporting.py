@@ -1,0 +1,99 @@
+"""Fixed-width table / ASCII-series rendering for the experiment harness.
+
+Every benchmark prints its experiment's rows through these helpers so the
+whole suite reads like one report.  No plotting dependencies — "figures"
+are rendered as aligned numeric series plus a log-scale spark column,
+which is enough to eyeball convergence shapes against envelopes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_value(value, width: int = 12) -> str:
+    """Human-stable numeric formatting: ints plain, floats adaptive."""
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, bool):
+        return ("yes" if value else "no").rjust(width)
+    if isinstance(value, int):
+        return str(value).rjust(width)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0".rjust(width)
+        magnitude = abs(value)
+        if 1e-3 <= magnitude < 1e6:
+            return f"{value:.6g}".rjust(width)
+        return f"{value:.3e}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    width: int = 12,
+) -> str:
+    """Render one experiment table with a title rule."""
+    header = " | ".join(col.rjust(width) for col in columns)
+    rule = "-" * len(header)
+    lines = [title, "=" * len(title), header, rule]
+    for row in rows:
+        lines.append(" | ".join(format_value(cell, width) for cell in row))
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def spark(value: float, lo: float, hi: float) -> str:
+    """One log-scale spark character for a positive value in [lo, hi]."""
+    if value <= 0 or hi <= lo or hi <= 0:
+        return _SPARK_CHARS[0]
+    lo = max(lo, 1e-300)
+    position = (math.log10(max(value, lo)) - math.log10(lo)) / (
+        math.log10(hi) - math.log10(lo)
+    )
+    idx = int(round(position * (len(_SPARK_CHARS) - 1)))
+    return _SPARK_CHARS[max(0, min(idx, len(_SPARK_CHARS) - 1))]
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[int],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 12,
+) -> str:
+    """Render a "figure": one row per x with all series plus spark columns.
+
+    Values of 0 render as ``0`` and an empty spark cell, making the point
+    where a series hits exact agreement visible at a glance.
+    """
+    positives = [v for vals in series.values() for v in vals if v > 0]
+    lo = min(positives) if positives else 1e-12
+    hi = max(positives) if positives else 1.0
+    columns = [x_label]
+    for name in series:
+        columns.extend([name, "~"])
+    header = " | ".join(
+        col.rjust(width if i % 2 == 0 else 1) for i, col in enumerate(columns)
+    )
+    lines = [title, "=" * len(title), header, "-" * len(header)]
+    for idx, x in enumerate(xs):
+        cells = [format_value(x, width)]
+        for vals in series.values():
+            value = vals[idx] if idx < len(vals) else None
+            cells.append(format_value(value, width))
+            cells.append(spark(value if value else 0.0, lo, hi))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def print_report(text: str) -> None:
+    """Print with surrounding blank lines so pytest -s output stays legible."""
+    print("\n" + text + "\n")

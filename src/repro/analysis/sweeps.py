@@ -1,0 +1,144 @@
+"""Seed-sweep driver: run a scenario across seeds and aggregate outcomes.
+
+Experiments and users routinely ask "does this hold across schedules?".
+This module runs any zero-argument-result callable (typically a
+:class:`~repro.workloads.scenarios.Scenario`'s ``run``) across seeds and
+aggregates the paper-property outcomes, disagreements, message costs, and
+output sizes into one summary — the machinery behind the per-seed tables
+of E4/E9 and the CLI's ``sweep`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.invariants import FullReport, check_all
+from ..core.runner import CCResult
+from .metrics import convergence_series, output_size_report
+
+
+@dataclass
+class SweepRow:
+    """Outcome of one seeded run."""
+
+    seed: int
+    properties_ok: bool
+    disagreement_round0: float
+    final_disagreement: float
+    messages: int
+    min_output_measure: float
+    decided: int
+    crashed: int
+
+
+@dataclass
+class SweepSummary:
+    """Aggregate over all seeds."""
+
+    rows: list[SweepRow] = field(default_factory=list)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.rows)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.properties_ok for r in self.rows)
+
+    @property
+    def failures(self) -> list[int]:
+        return [r.seed for r in self.rows if not r.properties_ok]
+
+    @property
+    def worst_round0_disagreement(self) -> float:
+        return max((r.disagreement_round0 for r in self.rows), default=0.0)
+
+    @property
+    def worst_final_disagreement(self) -> float:
+        return max((r.final_disagreement for r in self.rows), default=0.0)
+
+    @property
+    def mean_messages(self) -> float:
+        if not self.rows:
+            return 0.0
+        return float(np.mean([r.messages for r in self.rows]))
+
+    def table_rows(self) -> list[list]:
+        out = [
+            [
+                r.seed,
+                r.properties_ok,
+                r.disagreement_round0,
+                r.final_disagreement,
+                r.messages,
+                r.decided,
+                r.crashed,
+            ]
+            for r in self.rows
+        ]
+        out.append(
+            [
+                "ALL" if self.all_ok else "FAIL",
+                self.all_ok,
+                self.worst_round0_disagreement,
+                self.worst_final_disagreement,
+                self.mean_messages,
+                "-",
+                "-",
+            ]
+        )
+        return out
+
+    TABLE_COLUMNS = [
+        "seed",
+        "props ok",
+        "dis@0",
+        "dis@end",
+        "messages",
+        "decided",
+        "crashed",
+    ]
+
+
+def sweep_scenario(
+    run: Callable[[int], CCResult],
+    seeds,
+    *,
+    check: Callable[[CCResult], FullReport] | None = None,
+) -> SweepSummary:
+    """Run ``run(seed)`` for every seed and aggregate the outcomes.
+
+    ``check`` defaults to :func:`repro.core.invariants.check_all` on the
+    result's trace; pass a custom callable to aggregate different
+    predicates (e.g. matrix checks).
+    """
+    summary = SweepSummary()
+    for seed in seeds:
+        result = run(seed)
+        report = (
+            check(result) if check is not None else check_all(result.trace)
+        )
+        series = convergence_series(result.trace)
+        sizes = output_size_report(result.trace)
+        summary.rows.append(
+            SweepRow(
+                seed=seed,
+                properties_ok=report.ok,
+                disagreement_round0=(
+                    series.disagreement[0] if series.disagreement else 0.0
+                ),
+                final_disagreement=(
+                    series.disagreement[-1] if series.disagreement else 0.0
+                ),
+                messages=result.trace.messages_sent,
+                min_output_measure=min(
+                    sizes.output_measures.values(), default=0.0
+                ),
+                decided=len(result.report.decided),
+                crashed=len(result.report.crashed),
+            )
+        )
+    return summary

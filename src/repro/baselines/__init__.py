@@ -1,0 +1,30 @@
+"""Baseline algorithms the paper positions convex hull consensus against.
+
+* :mod:`scalar_agreement` — classic asynchronous approximate agreement on
+  one real value (Dolev et al. [7] lineage);
+* :mod:`coordinatewise` — the scalar algorithm run per coordinate, which
+  converges but violates convex validity for d >= 2 (the failure that
+  motivates vector consensus);
+* :mod:`vector_consensus` — point-valued approximate vector consensus in
+  the Mendes-Herlihy / Vaidya-Garg style, the direct predecessor problem.
+"""
+
+from .coordinatewise import CoordinatewiseResult, run_coordinatewise_consensus
+from .naive_collect import NaiveCollectProcess, run_naive_collect_consensus
+from .scalar_agreement import ScalarAgreementProcess
+from .vector_consensus import (
+    BaselineVCResult,
+    PointConsensusProcess,
+    run_baseline_vector_consensus,
+)
+
+__all__ = [
+    "BaselineVCResult",
+    "CoordinatewiseResult",
+    "NaiveCollectProcess",
+    "PointConsensusProcess",
+    "ScalarAgreementProcess",
+    "run_baseline_vector_consensus",
+    "run_coordinatewise_consensus",
+    "run_naive_collect_consensus",
+]

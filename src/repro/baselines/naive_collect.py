@@ -1,0 +1,139 @@
+"""Ablation variant: Algorithm CC with *naive* round-0 collection.
+
+The paper (end of Section 4) explains why round 0 uses stable vector:
+"to achieve optimality of the size of the output polytope, it is
+important for the intersection of multiset X_i at each fault-free process
+to be as large as possible.  This property is ensured by receiving
+messages using stable vector."
+
+This variant replaces stable vector with the obvious naive protocol —
+broadcast your input, take the first ``n - f`` inputs you see as ``X_i``
+— while keeping every later round identical.  Validity, epsilon-agreement
+and termination all still hold (the convergence machinery never needed
+containment), but the *Containment* property is gone: views can be
+incomparable, the common view shrinks, and the guaranteed common region
+(the analogue of ``I_Z``) collapses.  Ablation experiment A1 measures
+exactly that gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.algorithm_cc import CCProcess, EmptyInitialPolytopeError
+from ..core.config import CCConfig
+from ..geometry.intersection import intersect_subset_hulls
+from ..runtime.messages import Payload, SVInit, SVView
+from ..runtime.process import Outgoing
+from ..runtime.tracing import ProcessTrace
+
+
+class NaiveCollectProcess(CCProcess):
+    """CC with first-(n-f)-inputs collection instead of stable vector.
+
+    Inherits all round >= 1 logic from :class:`CCProcess`; only the
+    round-0 message handling differs.  ``SVView`` echoes from peers are
+    impossible here (all processes in an ablation run use this class);
+    receiving one raises, which guards against mixing the variants.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        config: CCConfig,
+        input_point,
+        trace: ProcessTrace | None = None,
+    ):
+        super().__init__(pid, config, input_point, trace)
+        self._collected: dict[int, tuple] = {}
+        self._view_frozen = False
+
+    def on_start(self) -> list[Outgoing]:
+        # Broadcast only the input tuple; there is no echo layer.
+        payloads = self._sv.start()
+        init = next(p for p in payloads if isinstance(p, SVInit))
+        self._collected[self.pid] = init.entry
+        out: list[Outgoing] = [(None, init)]
+        out.extend(self._maybe_freeze_view())
+        return out
+
+    def on_message(self, payload: Payload, src: int) -> list[Outgoing]:
+        if isinstance(payload, SVInit):
+            if not self._view_frozen:
+                self._collected[payload.entry.sender] = payload.entry
+            return self._maybe_freeze_view()
+        if isinstance(payload, SVView):
+            raise RuntimeError(
+                "NaiveCollectProcess received a stable-vector echo; "
+                "do not mix protocol variants in one execution"
+            )
+        return super().on_message(payload, src)
+
+    def _maybe_freeze_view(self) -> list[Outgoing]:
+        if self._view_frozen or len(self._collected) < self.config.quorum:
+            return []
+        self._view_frozen = True
+        entries = tuple(sorted(self._collected.values()))
+        self.trace.r_view = entries
+        x_multiset = np.array([list(e.value) for e in entries])
+        h0 = intersect_subset_hulls(x_multiset, self.config.f)
+        if h0.is_empty:
+            raise EmptyInitialPolytopeError(
+                f"naive process {self.pid}: empty round-0 intersection"
+            )
+        self._h[0] = h0
+        self.trace.states[0] = h0
+        return self._enter_round(1)
+
+    def _poll_stable_vector(self) -> list[Outgoing]:
+        # The inherited stable-vector engine is inert in this variant.
+        return []
+
+
+def run_naive_collect_consensus(
+    inputs,
+    f: int,
+    eps: float,
+    *,
+    fault_plan=None,
+    scheduler=None,
+    seed: int = 0,
+    input_bounds=None,
+):
+    """Run the naive-collection ablation end to end (CCResult-compatible)."""
+    from ..core.runner import CCResult, build_config
+    from ..runtime.faults import FaultPlan
+    from ..runtime.scheduler import default_scheduler
+    from ..runtime.simulator import run_simulation
+    from ..runtime.tracing import ExecutionTrace
+
+    arr = np.asarray(inputs, dtype=float)
+    config = build_config(arr, f, eps, input_bounds=input_bounds)
+    plan = fault_plan or FaultPlan.none()
+    sched = scheduler or default_scheduler(seed=seed)
+    sched.reset()
+    traces = [
+        ProcessTrace(pid=i, input_point=arr[i].copy()) for i in range(config.n)
+    ]
+    cores = [
+        NaiveCollectProcess(
+            pid=i, config=config, input_point=arr[i], trace=traces[i]
+        )
+        for i in range(config.n)
+    ]
+    report = run_simulation(cores, fault_plan=plan, scheduler=sched)
+    trace = ExecutionTrace(
+        n=config.n,
+        f=config.f,
+        dim=config.dim,
+        eps=config.eps,
+        t_end=config.t_end,
+        fault_plan=plan,
+        seed=seed,
+        scheduler_name=f"naive+{type(sched).__name__}",
+        processes=traces,
+        messages_sent=report.messages_sent,
+        messages_delivered=report.messages_delivered,
+        delivery_steps=report.delivery_steps,
+    )
+    return CCResult(config=config, trace=trace, report=report)

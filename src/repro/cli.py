@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``scenario``        run a named adversarial scenario and report the outcome
+``consensus``       run an ad-hoc convex hull consensus instance
+``verify``          re-check a dumped trace (invariants + matrix theory)
+``list-scenarios``  enumerate the named scenarios
+``experiments``     print the DESIGN.md experiment index
+
+Every run can dump its full execution trace as JSON (``--dump``) for
+archival or external analysis; ``verify`` closes the loop by re-running
+the paper's invariant checkers on a dumped trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.reporting import render_table
+from .analysis.serialization import dump_trace, load_trace
+from .core.invariants import check_all
+from .core.matrix import (
+    check_claim1,
+    ergodicity_coefficients,
+    verify_state_evolution,
+)
+from .core.runner import run_convex_hull_consensus
+from .runtime.faults import CrashSpec, FaultPlan
+from .workloads import scenarios as scenario_mod
+from .workloads import inputs as input_gen
+
+EXPERIMENT_INDEX = {
+    "E1": "convergence vs (1-1/n)^t envelope (Eq. 18)",
+    "E2": "analytic t_end vs measured rounds (Eq. 19)",
+    "E3": "I_Z containment / output optimality (Lemma 6, Thm 3)",
+    "E4": "validity: CC vs coordinate-wise baseline",
+    "E5": "resilience bound n >= (d+2)f+1 (Eq. 2)",
+    "E6": "degenerate single-point outputs (Sec. 6)",
+    "E7": "vector consensus reduction vs baseline",
+    "E8": "two-step function optimization (Sec. 7)",
+    "E9": "Theorem 4 trade-off demonstrations",
+    "E10": "scaling: cost vs n and d",
+    "E11": "ergodicity of matrix products (Lemma 3)",
+    "E12": "stable-vector liveness/containment (Sec. 3)",
+    "E13": "strong-convexity conjecture, exploratory (Sec. 7)",
+    "A1": "ablation: stable vector vs naive round-0 collection",
+    "A2": "ablation: VC-reduction point selectors",
+    "A3": "ablation: lockstep vs adversarial vs asyncio runtimes",
+}
+
+WORKLOADS = {
+    "gaussian": lambda n, d, seed: input_gen.gaussian_cluster(n, d, seed=seed),
+    "uniform": lambda n, d, seed: input_gen.uniform_box(n, d, seed=seed),
+    "collinear": lambda n, d, seed: input_gen.collinear(n, d, seed=seed),
+    "two-clusters": lambda n, d, seed: input_gen.two_clusters(n, d, seed=seed),
+    "simplex": lambda n, d, seed: input_gen.simplex_corners(n, d),
+    "identical": lambda n, d, seed: input_gen.identical(n, d),
+}
+
+
+def _parse_crash(spec: str) -> tuple[int, tuple[int, int]]:
+    """Parse ``pid:round:after_sends`` into plan-entry form."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"crash spec must be pid:round:after_sends, got {spec!r}"
+        )
+    pid, round_index, after = (int(p) for p in parts)
+    return pid, (round_index, after)
+
+
+def _summarise(result, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    trace = result.trace
+    rows = []
+    for pid, poly in sorted(result.outputs.items()):
+        rows.append(
+            [
+                pid,
+                "faulty" if pid in trace.faulty else "ok",
+                poly.num_vertices,
+                poly.diameter,
+                poly.measure(),
+            ]
+        )
+    print(
+        render_table(
+            f"decisions (n={trace.n}, f={trace.f}, d={trace.dim}, "
+            f"eps={trace.eps}, t_end={trace.t_end}, "
+            f"messages={trace.messages_sent})",
+            ["pid", "status", "vertices", "diameter", "measure"],
+            rows,
+        ),
+        file=out,
+    )
+
+
+def _check_and_report(trace, *, matrix_checks: bool, out=None) -> bool:
+    out = out if out is not None else sys.stdout
+    report = check_all(trace)
+    rows = [
+        ["validity", report.validity.ok, len(report.validity.violations)],
+        ["eps-agreement", report.agreement.ok, report.agreement.disagreement],
+        ["termination", report.termination.ok, len(report.termination.stuck)],
+        ["lemma6-containment", report.optimality.ok, len(report.optimality.violations)],
+        ["stable-vector", report.stable_vector.ok, "-"],
+    ]
+    ok = report.ok
+    if matrix_checks:
+        evolution = verify_state_evolution(trace)
+        ergodicity = ergodicity_coefficients(trace)
+        claim1 = check_claim1(trace)
+        rows.append(["theorem1-evolution", evolution.ok, evolution.max_hausdorff_error])
+        rows.append(["lemma3-ergodicity", ergodicity.ok, max(ergodicity.deltas, default=0.0)])
+        rows.append(["claim1-columns", claim1, "-"])
+        ok = ok and evolution.ok and ergodicity.ok and claim1
+    print(render_table("paper properties", ["check", "ok", "detail"], rows), file=out)
+    return ok
+
+
+def cmd_scenario(args) -> int:
+    factory = scenario_mod.ALL_SCENARIOS.get(args.name)
+    if factory is None:
+        print(f"unknown scenario {args.name!r}; see list-scenarios", file=sys.stderr)
+        return 2
+    scenario = factory()
+    result = scenario.run(seed=args.seed)
+    _summarise(result)
+    if args.plot and result.trace.dim == 2:
+        from .analysis.ascii_plot import plot_execution
+
+        poly = next(iter(result.fault_free_outputs.values()))
+        print(
+            plot_execution(
+                result.trace.all_inputs,
+                poly,
+                faulty=result.trace.faulty,
+                title=f"{args.name}: inputs (o correct, x faulty) and one decided region",
+            )
+        )
+    ok = _check_and_report(result.trace, matrix_checks=args.matrix)
+    if args.dump:
+        dump_trace(result.trace, args.dump)
+        print(f"trace written to {args.dump}")
+    return 0 if ok else 1
+
+
+def cmd_consensus(args) -> int:
+    gen = WORKLOADS.get(args.workload)
+    if gen is None:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    inputs = gen(args.n, args.d, args.seed)
+    plan = FaultPlan.none()
+    if args.crash:
+        crashes = dict(args.crash)
+        plan = FaultPlan(
+            faulty=frozenset(crashes),
+            crashes={
+                pid: CrashSpec(round_index=r, after_sends=k)
+                for pid, (r, k) in crashes.items()
+            },
+        )
+    result = run_convex_hull_consensus(
+        inputs, args.f, args.eps, fault_plan=plan, seed=args.seed
+    )
+    _summarise(result)
+    ok = _check_and_report(result.trace, matrix_checks=args.matrix)
+    if args.dump:
+        dump_trace(result.trace, args.dump)
+        print(f"trace written to {args.dump}")
+    return 0 if ok else 1
+
+
+def cmd_verify(args) -> int:
+    trace = load_trace(args.trace)
+    ok = _check_and_report(trace, matrix_checks=not args.no_matrix)
+    print("OK" if ok else "PROPERTY VIOLATIONS FOUND")
+    return 0 if ok else 1
+
+
+def cmd_sweep(args) -> int:
+    factory = scenario_mod.ALL_SCENARIOS.get(args.name)
+    if factory is None:
+        print(f"unknown scenario {args.name!r}; see list-scenarios", file=sys.stderr)
+        return 2
+    from .analysis.sweeps import SweepSummary, sweep_scenario
+
+    scenario = factory()
+    summary = sweep_scenario(
+        lambda seed: scenario.run(seed=seed), range(args.seeds)
+    )
+    print(
+        render_table(
+            f"sweep of {args.name!r} over {args.seeds} seeds",
+            SweepSummary.TABLE_COLUMNS,
+            summary.table_rows(),
+        )
+    )
+    return 0 if summary.all_ok else 1
+
+
+def cmd_list_scenarios(_args) -> int:
+    rows = [[name] for name in sorted(scenario_mod.ALL_SCENARIOS)]
+    print(render_table("named scenarios", ["name"], rows, width=20))
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    rows = [[eid, desc] for eid, desc in EXPERIMENT_INDEX.items()]
+    print(render_table("experiment index (see DESIGN.md)", ["id", "claim"], rows, width=44))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Asynchronous convex hull consensus (Tseng & Vaidya, PODC 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_scenario = sub.add_parser("scenario", help="run a named scenario")
+    p_scenario.add_argument("name")
+    p_scenario.add_argument("--seed", type=int, default=0)
+    p_scenario.add_argument("--dump", metavar="FILE", default=None)
+    p_scenario.add_argument(
+        "--matrix", action="store_true", help="also verify Theorem 1 / Lemma 3"
+    )
+    p_scenario.add_argument(
+        "--plot", action="store_true", help="ASCII plot (2-d scenarios)"
+    )
+    p_scenario.set_defaults(func=cmd_scenario)
+
+    p_run = sub.add_parser("consensus", help="run an ad-hoc instance")
+    p_run.add_argument("--n", type=int, default=8)
+    p_run.add_argument("--d", type=int, default=2)
+    p_run.add_argument("--f", type=int, default=1)
+    p_run.add_argument("--eps", type=float, default=0.1)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--workload", default="gaussian", choices=sorted(WORKLOADS)
+    )
+    p_run.add_argument(
+        "--crash",
+        type=_parse_crash,
+        action="append",
+        metavar="PID:ROUND:SENDS",
+        help="crash process PID in ROUND after SENDS sends (repeatable)",
+    )
+    p_run.add_argument("--dump", metavar="FILE", default=None)
+    p_run.add_argument("--matrix", action="store_true")
+    p_run.set_defaults(func=cmd_consensus)
+
+    p_verify = sub.add_parser("verify", help="re-check a dumped trace")
+    p_verify.add_argument("trace")
+    p_verify.add_argument("--no-matrix", action="store_true")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_sweep = sub.add_parser("sweep", help="run a scenario across seeds")
+    p_sweep.add_argument("name")
+    p_sweep.add_argument("--seeds", type=int, default=5)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_list = sub.add_parser("list-scenarios", help="list named scenarios")
+    p_list.set_defaults(func=cmd_list_scenarios)
+
+    p_exp = sub.add_parser("experiments", help="print the experiment index")
+    p_exp.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

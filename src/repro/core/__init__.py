@@ -1,0 +1,108 @@
+"""The paper's contribution: Algorithm CC and everything built on it."""
+
+from .algorithm_cc import CCProcess, EmptyInitialPolytopeError
+from .config import CCConfig, ResilienceError, required_processes
+from .costs import (
+    CallableCost,
+    CostFunction,
+    LinearCost,
+    QuadraticCost,
+    Theorem4Cost,
+)
+from .impossibility import (
+    BinaryScenario,
+    TradeoffRow,
+    binary_scenarios,
+    majority_input_guarantee,
+    run_tradeoff_demonstration,
+)
+from .invariants import (
+    AgreementReport,
+    FullReport,
+    OptimalityReport,
+    StableVectorReport,
+    TerminationReport,
+    ValidityReport,
+    check_agreement,
+    check_all,
+    check_optimality,
+    check_stable_vector,
+    check_termination,
+    check_validity,
+)
+from .matrix import (
+    ErgodicityCheck,
+    EvolutionCheck,
+    backward_products,
+    check_claim1,
+    ergodicity_coefficients,
+    initial_state_vector,
+    is_row_stochastic,
+    reconstruct_transition_matrices,
+    verify_state_evolution,
+)
+from .optimization import (
+    OptimizationResult,
+    minimize_over_polytope,
+    run_function_optimization,
+)
+from .runner import CCResult, build_config, derive_bounds, run_convex_hull_consensus
+from .strong_convexity import (
+    ConjectureProbe,
+    conjectured_point_spread_bound,
+    fitted_exponent,
+    probe_conjecture,
+)
+from .vector_consensus import VectorConsensusResult, run_vector_consensus
+
+__all__ = [
+    "AgreementReport",
+    "BinaryScenario",
+    "CCConfig",
+    "CCProcess",
+    "CCResult",
+    "CallableCost",
+    "ConjectureProbe",
+    "CostFunction",
+    "EmptyInitialPolytopeError",
+    "ErgodicityCheck",
+    "EvolutionCheck",
+    "FullReport",
+    "LinearCost",
+    "OptimalityReport",
+    "OptimizationResult",
+    "QuadraticCost",
+    "ResilienceError",
+    "StableVectorReport",
+    "TerminationReport",
+    "Theorem4Cost",
+    "TradeoffRow",
+    "ValidityReport",
+    "VectorConsensusResult",
+    "backward_products",
+    "binary_scenarios",
+    "build_config",
+    "check_agreement",
+    "check_all",
+    "check_claim1",
+    "check_optimality",
+    "check_stable_vector",
+    "check_termination",
+    "check_validity",
+    "conjectured_point_spread_bound",
+    "derive_bounds",
+    "ergodicity_coefficients",
+    "fitted_exponent",
+    "initial_state_vector",
+    "is_row_stochastic",
+    "majority_input_guarantee",
+    "minimize_over_polytope",
+    "probe_conjecture",
+    "reconstruct_transition_matrices",
+    "required_processes",
+    "run_convex_hull_consensus",
+    "run_function_optimization",
+    "run_tradeoff_demonstration",
+    "run_vector_consensus",
+    "verify_state_evolution",
+]

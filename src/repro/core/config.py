@@ -1,0 +1,129 @@
+"""Configuration and round-count arithmetic for Algorithm CC.
+
+Collects the paper's global parameters: ``n`` processes, at most ``f``
+faulty, inputs in ``d``-dimensional space bounded coordinatewise by
+``[mu, U]``, and the agreement parameter ``epsilon``.  From these it
+derives
+
+* the resilience check ``n >= (d+2) f + 1``  (Eq. 2), and
+* the termination round ``t_end``            (Eq. 19):
+  the smallest positive integer t with
+
+      (1 - 1/n)^t * sqrt(d * n^2 * max(U^2, mu^2)) < epsilon.
+
+The bound inside the square root is the paper's worst-case bound on
+``Omega`` — the processes only need *a-priori* input bounds, never the
+actual inputs of others, so ``t_end`` is computable locally and identically
+at every process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class ResilienceError(ValueError):
+    """The (n, f, d) triple violates the paper's necessary condition."""
+
+
+def required_processes(d: int, f: int) -> int:
+    """The optimal resilience bound: ``n >= (d+2) f + 1`` (Eq. 2)."""
+    return (d + 2) * f + 1
+
+
+@dataclass(frozen=True)
+class CCConfig:
+    """Parameters of one convex-hull-consensus instance.
+
+    ``input_lower`` / ``input_upper`` are the paper's ``mu`` and ``U``:
+    a-priori bounds on every coordinate of every (correct or incorrect)
+    input.  ``enforce_resilience=False`` lets experiments deliberately run
+    below the bound (E5 demonstrates what goes wrong there).
+    """
+
+    n: int
+    f: int
+    dim: int
+    eps: float
+    input_lower: float = -1.0
+    input_upper: float = 1.0
+    enforce_resilience: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need at least one process, got n={self.n}")
+        if self.f < 0:
+            raise ValueError(f"f must be >= 0, got {self.f}")
+        if self.dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {self.dim}")
+        if self.eps <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.eps}")
+        if self.input_upper < self.input_lower:
+            raise ValueError(
+                f"input bounds out of order: [{self.input_lower}, {self.input_upper}]"
+            )
+        if self.enforce_resilience and self.n < required_processes(self.dim, self.f):
+            raise ResilienceError(
+                f"n={self.n} < (d+2)f+1 = {required_processes(self.dim, self.f)} "
+                f"for d={self.dim}, f={self.f} (paper Eq. 2)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def coordinate_bound(self) -> float:
+        """``max(|U|, |mu|)`` — the largest possible coordinate magnitude."""
+        return max(abs(self.input_upper), abs(self.input_lower))
+
+    @property
+    def omega_bound(self) -> float:
+        """Paper's bound on Omega: ``sqrt(d n^2 max(U^2, mu^2))``."""
+        return math.sqrt(self.dim) * self.n * self.coordinate_bound
+
+    @property
+    def contraction_factor(self) -> float:
+        """Per-round contraction ``1 - 1/n`` of Lemma 3."""
+        return 1.0 - 1.0 / self.n
+
+    @property
+    def t_end(self) -> int:
+        """Eq. (19): smallest positive t with ``(1-1/n)^t * bound < eps``."""
+        bound = self.omega_bound
+        if bound < self.eps:
+            return 1
+        gamma = self.contraction_factor
+        if gamma == 0.0:  # n == 1: one round suffices
+            return 1
+        # Solve gamma^t * bound < eps  =>  t > log(eps/bound)/log(gamma).
+        t = int(math.ceil(math.log(self.eps / bound) / math.log(gamma)))
+        t = max(t, 1)
+        # Floating-point guard: step until the strict inequality holds.
+        while gamma**t * bound >= self.eps:
+            t += 1
+        while t > 1 and gamma ** (t - 1) * bound < self.eps:
+            t -= 1
+        return t
+
+    @property
+    def quorum(self) -> int:
+        """The per-round wait threshold ``n - f`` (lines 3 and 12)."""
+        return self.n - self.f
+
+    def agreement_bound_at(self, t: int) -> float:
+        """The Eq. (18) disagreement envelope ``(1-1/n)^t * omega_bound``."""
+        return self.contraction_factor**t * self.omega_bound
+
+    def check_input(self, point) -> None:
+        """Validate one input point against dimension and bounds."""
+        import numpy as np
+
+        arr = np.asarray(point, dtype=float).reshape(-1)
+        if arr.size != self.dim:
+            raise ValueError(
+                f"input of dimension {arr.size}, expected {self.dim}"
+            )
+        if arr.min() < self.input_lower - 1e-12 or arr.max() > self.input_upper + 1e-12:
+            raise ValueError(
+                f"input {arr} outside declared bounds "
+                f"[{self.input_lower}, {self.input_upper}]"
+            )

@@ -1,0 +1,145 @@
+"""Cost functions for convex hull function optimization (Section 7).
+
+The two-step algorithm needs, per cost function ``c``:
+
+* evaluation ``c(x)``,
+* a Lipschitz bound ``b`` valid over the input domain (the paper's
+  b-Lipschitz continuity assumption — it converts the agreement parameter
+  via ``eps = beta / b``),
+* optionally a gradient (enables Frank-Wolfe; otherwise the optimizer
+  falls back to vertex/grid search).
+
+The catalogue covers what the experiments use: linear functionals,
+quadratic distance-to-target costs (strongly convex — the paper's
+conjectured nicest case), and the deliberately nasty Theorem 4 cost with
+two global minima.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class CostFunction(ABC):
+    """A real-valued cost with a Lipschitz certificate over a box domain."""
+
+    #: Whether the cost is convex on the domain.  Frank-Wolfe is only a
+    #: correct minimiser for convex costs; non-convex costs fall back to
+    #: sampled search over the polytope.
+    convex: bool = True
+
+    @abstractmethod
+    def __call__(self, x: np.ndarray) -> float:
+        ...
+
+    @abstractmethod
+    def lipschitz_bound(self, lower: float, upper: float, dim: int) -> float:
+        """A constant ``b`` with ``|c(x)-c(y)| <= b ||x-y||`` on the box."""
+
+    def gradient(self, x: np.ndarray) -> np.ndarray | None:
+        """Gradient at ``x``; None when unavailable (non-smooth cost)."""
+        return None
+
+
+class LinearCost(CostFunction):
+    """``c(x) = <w, x> + b0`` — Lipschitz constant ``||w||``."""
+
+    def __init__(self, weights, offset: float = 0.0):
+        self.weights = np.asarray(weights, dtype=float).reshape(-1)
+        self.offset = float(offset)
+
+    def __call__(self, x: np.ndarray) -> float:
+        return float(self.weights @ np.asarray(x, dtype=float).reshape(-1)) + self.offset
+
+    def lipschitz_bound(self, lower: float, upper: float, dim: int) -> float:
+        return float(np.linalg.norm(self.weights))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.weights.copy()
+
+
+class QuadraticCost(CostFunction):
+    """``c(x) = scale * ||x - target||^2`` — strongly convex and smooth.
+
+    The Lipschitz bound over the box ``[lower, upper]^d`` uses the largest
+    gradient magnitude: ``2 * scale * max_x ||x - target||``.
+    """
+
+    def __init__(self, target, scale: float = 1.0):
+        self.target = np.asarray(target, dtype=float).reshape(-1)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+
+    def __call__(self, x: np.ndarray) -> float:
+        diff = np.asarray(x, dtype=float).reshape(-1) - self.target
+        return self.scale * float(diff @ diff)
+
+    def lipschitz_bound(self, lower: float, upper: float, dim: int) -> float:
+        corners = np.array([lower, upper])
+        worst_sq = 0.0
+        for coord in range(dim):
+            worst_sq += max(
+                (corners[0] - self.target[coord]) ** 2,
+                (corners[1] - self.target[coord]) ** 2,
+            )
+        return 2.0 * self.scale * float(np.sqrt(worst_sq))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return 2.0 * self.scale * (np.asarray(x, dtype=float).reshape(-1) - self.target)
+
+
+class Theorem4Cost(CostFunction):
+    """The impossibility-proof cost (Appendix F), for ``d = 1``:
+
+        c(x) = 4 - (2x - 1)^2   for x in [0, 1]
+        c(x) = 3                otherwise
+
+    Two global minima (x = 0 and x = 1, both value 3) inside the valid
+    domain of binary-input executions.  Lipschitz on [0, 1] with b = 4,
+    but its *minimiser* is discontinuous in the feasible region — which is
+    precisely why epsilon-agreement on the argmin cannot be guaranteed.
+
+    The cost is *concave* on [0, 1]; minimisation over a polytope must use
+    vertex/sampled search (its minimum over an interval is at an endpoint).
+    """
+
+    convex = False
+
+    def __call__(self, x: np.ndarray) -> float:
+        val = float(np.asarray(x, dtype=float).reshape(-1)[0])
+        if 0.0 <= val <= 1.0:
+            return 4.0 - (2.0 * val - 1.0) ** 2
+        return 3.0
+
+    def lipschitz_bound(self, lower: float, upper: float, dim: int) -> float:
+        return 4.0
+
+    def gradient(self, x: np.ndarray) -> np.ndarray | None:
+        val = float(np.asarray(x, dtype=float).reshape(-1)[0])
+        if 0.0 < val < 1.0:
+            return np.array([-4.0 * (2.0 * val - 1.0)])
+        return None  # non-smooth at the boundary / flat outside
+
+
+class CallableCost(CostFunction):
+    """Adapter wrapping a plain callable with a user-supplied bound."""
+
+    def __init__(self, fn, lipschitz: float, grad=None, convex: bool = False):
+        self._fn = fn
+        self._lipschitz = float(lipschitz)
+        self._grad = grad
+        self.convex = bool(convex)
+
+    def __call__(self, x: np.ndarray) -> float:
+        return float(self._fn(np.asarray(x, dtype=float).reshape(-1)))
+
+    def lipschitz_bound(self, lower: float, upper: float, dim: int) -> float:
+        return self._lipschitz
+
+    def gradient(self, x: np.ndarray) -> np.ndarray | None:
+        if self._grad is None:
+            return None
+        return np.asarray(self._grad(x), dtype=float).reshape(-1)

@@ -1,0 +1,222 @@
+"""The Theorem 4 construction: why epsilon-agreement + optimality clash.
+
+Theorem 4 (Appendix F) proves that no asynchronous algorithm can combine
+Validity, epsilon-Agreement, weak beta-Optimality, and Termination for
+arbitrary cost functions under crash faults with incorrect inputs (for
+``n >= 4f + 1``, ``d >= 1``).  The proof instruments the cost
+
+    c(x) = 4 - (2x - 1)^2  on [0, 1],   3 elsewhere,
+
+with *binary* inputs: since at least ``2f + 1`` processes share an input,
+weak optimality forces every output to a global minimiser (0 or 1), and
+epsilon-agreement (eps < 1) then forces *exact* consensus — contradicting
+FLP.
+
+A simulation obviously cannot prove impossibility; what this module does
+is make the *mechanism* observable:
+
+* :func:`binary_scenarios` constructs the executions the proof reasons
+  about (majority-0 inputs, adversary starving part of the majority);
+* :func:`run_tradeoff_demonstration` runs the paper's own two-step
+  algorithm (which sacrifices epsilon-agreement) on those scenarios and
+  reports, per execution, the cost spread (bounded by beta, as proved)
+  and the *point* spread — which jumps to ~1 whenever two processes'
+  polytopes straddle the two global minima.  That jump is the observable
+  shadow of Theorem 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime.faults import FaultPlan
+from ..runtime.scheduler import TargetedDelayScheduler
+from .costs import Theorem4Cost
+from .optimization import OptimizationResult, run_function_optimization
+
+
+@dataclass(frozen=True)
+class BinaryScenario:
+    """One Theorem 4-style execution setup."""
+
+    name: str
+    inputs: np.ndarray
+    f: int
+    fault_plan: FaultPlan
+    slow: frozenset[int]
+
+
+def binary_scenarios(f: int = 1) -> list[BinaryScenario]:
+    """Executions over binary inputs with ``n = 4f + 1`` (the proof's n).
+
+    * ``all-zero-visible``: the 2f+1 zeros are all fast — every process
+      learns a zero majority;
+    * ``zeros-starved``: f of the zero-holders are slow (indistinguishable
+      from crashed) — fault-free processes see only f+1 zeros among 3f+1
+      inputs, the knife-edge the proof exploits;
+    * ``ones-starved``: the adversary starves f *one*-holders instead;
+    * ``view-split``: a faulty zero-holder crashes after delivering its
+      input to exactly one process while the adversary starves that
+      witness — the stable-vector Containment property then yields
+      strictly nested views ``R_i`` among fault-free processes, i.e.
+      genuinely different decided polytopes.
+    """
+    n = 4 * f + 1
+    inputs = np.zeros((n, 1))
+    inputs[2 * f + 1 :, 0] = 1.0  # 2f+1 zeros, 2f ones
+    zero_holders = list(range(2 * f + 1))
+    one_holders = list(range(2 * f + 1, n))
+    # view-split: a faulty zero-holder (pid 2f) crashes after delivering
+    # its round-0 tuple to exactly one witness (pid 0), and the adversary
+    # starves both — fault-free views end up strictly nested.  Near-binary
+    # perturbations (0.04 / 0.98) make the nesting geometrically visible:
+    # the witness's interval gains the true 0 endpoint, tilting its argmin
+    # to the *opposite* global minimum of the Theorem 4 cost.
+    split_inputs = inputs.copy()
+    split_inputs[:, 0] = [0.0, 0.04, 0.0, 0.98, 1.0][:n] if n == 5 else split_inputs[:, 0]
+    if n != 5:
+        split_inputs = inputs.copy()
+        split_inputs[1, 0] = 0.04
+        split_inputs[n - 2, 0] = 0.98
+    split_plan = FaultPlan.crash_at({2 * f: (0, 1)})
+    return [
+        BinaryScenario(
+            name="all-zero-visible",
+            inputs=inputs.copy(),
+            f=f,
+            fault_plan=FaultPlan.none(),
+            slow=frozenset(),
+        ),
+        BinaryScenario(
+            name="zeros-starved",
+            inputs=inputs.copy(),
+            f=f,
+            fault_plan=FaultPlan.silent_faulty(zero_holders[:f]),
+            slow=frozenset(zero_holders[:f]),
+        ),
+        BinaryScenario(
+            name="ones-starved",
+            inputs=inputs.copy(),
+            f=f,
+            fault_plan=FaultPlan.silent_faulty(one_holders[:f]),
+            slow=frozenset(one_holders[:f]),
+        ),
+        BinaryScenario(
+            name="view-split",
+            inputs=split_inputs,
+            f=f,
+            fault_plan=split_plan,
+            slow=frozenset({0, 2 * f}),
+        ),
+    ]
+
+
+def argmin_instability_demo(eps: float = 1e-3) -> dict[str, float]:
+    """The heart of Theorem 4, isolated at the polytope level.
+
+    Construct two valid decided polytopes within Hausdorff distance
+    ``eps`` of each other — ``[eps, 1]`` and ``[0, 1 - eps]`` — and
+    minimise the Theorem 4 cost over each.  The argmins land on opposite
+    global minima (distance ~1) even though the cost values differ by at
+    most ``4 * eps``.  This is exactly why Step 2 of the two-step
+    algorithm cannot deliver epsilon-agreement on points: agreement on
+    *polytopes* does not transfer to agreement on *argmins* when the cost
+    has multiple minimisers.
+
+    Returns the measured quantities for reporting.
+    """
+    from ..geometry.polytope import ConvexPolytope
+    from .optimization import minimize_over_polytope
+
+    cost = Theorem4Cost()
+    poly_a = ConvexPolytope.from_interval(eps, 1.0)
+    poly_b = ConvexPolytope.from_interval(0.0, 1.0 - eps)
+    y_a, c_a = minimize_over_polytope(cost, poly_a)
+    y_b, c_b = minimize_over_polytope(cost, poly_b)
+    return {
+        "hausdorff_between_polytopes": eps,
+        "point_distance": float(abs(y_a[0] - y_b[0])),
+        "cost_difference": float(abs(c_a - c_b)),
+        "cost_lipschitz": cost.lipschitz_bound(0.0, 1.0, 1),
+    }
+
+
+@dataclass
+class TradeoffRow:
+    """One row of the demonstration table."""
+
+    scenario: str
+    beta: float
+    cost_spread: float
+    point_spread: float
+    outputs: dict[int, float]
+    weak_optimality_holds: bool
+    point_agreement_holds: bool
+
+
+def run_tradeoff_demonstration(
+    f: int = 1, beta: float = 0.5, seed: int = 0
+) -> list[TradeoffRow]:
+    """Run the two-step optimizer on each Theorem 4 scenario.
+
+    Expected shape (and what the paper proves): ``cost_spread < beta`` in
+    every scenario (weak optimality part (i) holds), while
+    ``point_spread`` is NOT bounded — scenarios where decided polytopes
+    cover both minima produce point spreads near 1 even though every
+    process's cost is optimal.
+    """
+    cost = Theorem4Cost()
+    rows: list[TradeoffRow] = []
+    for scenario in binary_scenarios(f):
+        scheduler = TargetedDelayScheduler(slow=scenario.slow, seed=seed)
+        result: OptimizationResult = run_function_optimization(
+            scenario.inputs,
+            scenario.f,
+            beta,
+            cost,
+            fault_plan=scenario.fault_plan,
+            scheduler=scheduler,
+            seed=seed,
+            input_bounds=(0.0, 1.0),
+        )
+        cost_spread = result.cost_spread()
+        point_spread = result.point_spread()
+        rows.append(
+            TradeoffRow(
+                scenario=scenario.name,
+                beta=beta,
+                cost_spread=cost_spread,
+                point_spread=point_spread,
+                outputs={
+                    pid: val for pid, val in result.fault_free_values.items()
+                },
+                weak_optimality_holds=cost_spread < beta,
+                point_agreement_holds=point_spread < 1.0,
+            )
+        )
+    return rows
+
+
+def majority_input_guarantee(
+    result: OptimizationResult, cost, shared_value
+) -> bool:
+    """Weak optimality part (ii): ``c(y_i) <= c(x)`` for a 2f+1-shared input.
+
+    Raises unless at least ``2f + 1`` processes of the underlying
+    execution held the identical input ``shared_value``; then checks that
+    every fault-free decided cost is at most ``c(shared_value)``.
+    """
+    shared = np.asarray(shared_value, dtype=float).reshape(-1)
+    count = sum(
+        1
+        for proc in result.cc_result.trace.processes
+        if np.allclose(proc.input_point, shared)
+    )
+    if count < 2 * result.cc_result.trace.f + 1:
+        raise ValueError(
+            f"only {count} processes share the input; part (ii) needs 2f+1"
+        )
+    threshold = cost(shared) + 1e-9
+    return all(val <= threshold for val in result.fault_free_values.values())

@@ -1,0 +1,230 @@
+"""Runtime invariant checkers for the paper's correctness properties.
+
+Given an :class:`ExecutionTrace`, these functions decide — with explicit
+tolerances — whether the execution satisfied:
+
+* **Validity** (Definition 3 / Theorem 2): every live state ``h_i[t]`` is
+  contained in the convex hull of the *correct* inputs;
+* **epsilon-Agreement** (Theorem 2): pairwise Hausdorff distance of the
+  fault-free outputs is below ``eps``;
+* **Termination**: every non-crashed process decided;
+* **Lemma 6 / Theorem 3 optimality**: the polytope ``I_Z`` (Eq. 21) is
+  contained in every live state at every round;
+* **Stable-vector properties** (Section 3): Liveness (``|R_i| >= n - f``)
+  and Containment (views ordered by inclusion).
+
+Each check returns a small report object rather than a bare bool so tests
+and experiment tables can show *how much* margin there was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry.hausdorff import disagreement_diameter, hausdorff_distance
+from ..geometry.intersection import optimal_polytope_iz
+from ..geometry.polytope import ConvexPolytope
+from ..geometry.tolerances import INVARIANT_TOL
+from ..runtime.tracing import ExecutionTrace
+
+
+@dataclass
+class ValidityReport:
+    """Containment of every live state in the hull of correct inputs."""
+
+    checked_states: int
+    violations: list[tuple[int, int, float]] = field(default_factory=list)
+    worst_excess: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_validity(
+    trace: ExecutionTrace, tol: float = INVARIANT_TOL
+) -> ValidityReport:
+    """Every ``h_i[t]`` must lie in ``H(correct inputs)`` (Theorem 2).
+
+    Checked for *all* recorded states of all processes (the paper notes
+    validity holds for every process that has not crashed yet, not only
+    the fault-free ones).
+    """
+    hull = ConvexPolytope.from_points(trace.correct_inputs)
+    checked = 0
+    violations: list[tuple[int, int, float]] = []
+    worst = 0.0
+    for proc in trace.processes:
+        for t, state in proc.states.items():
+            checked += 1
+            excess = max(
+                (hull.distance_to_point(v) for v in state.vertices), default=0.0
+            )
+            if excess > tol:
+                violations.append((proc.pid, t, excess))
+                worst = max(worst, excess)
+    return ValidityReport(
+        checked_states=checked, violations=violations, worst_excess=worst
+    )
+
+
+@dataclass
+class AgreementReport:
+    disagreement: float
+    eps: float
+    num_outputs: int
+
+    @property
+    def ok(self) -> bool:
+        return self.disagreement < self.eps
+
+
+def check_agreement(trace: ExecutionTrace) -> AgreementReport:
+    """epsilon-Agreement over the fault-free outputs (Theorem 2)."""
+    outputs = list(trace.fault_free_outputs().values())
+    disagreement = disagreement_diameter(outputs) if len(outputs) >= 2 else 0.0
+    return AgreementReport(
+        disagreement=disagreement, eps=trace.eps, num_outputs=len(outputs)
+    )
+
+
+@dataclass
+class TerminationReport:
+    decided: list[int]
+    crashed: list[int]
+    stuck: list[int]
+
+    @property
+    def ok(self) -> bool:
+        return not self.stuck
+
+
+def check_termination(trace: ExecutionTrace) -> TerminationReport:
+    """Every process that never crashed must have decided."""
+    decided, crashed, stuck = [], [], []
+    for proc in trace.processes:
+        if proc.crash_fired_round is not None:
+            crashed.append(proc.pid)
+        elif proc.decided:
+            decided.append(proc.pid)
+        else:
+            stuck.append(proc.pid)
+    return TerminationReport(decided=decided, crashed=crashed, stuck=stuck)
+
+
+@dataclass
+class OptimalityReport:
+    """Lemma 6: ``I_Z`` contained in every state, with worst excess."""
+
+    iz: ConvexPolytope
+    checked_states: int
+    violations: list[tuple[int, int, float]] = field(default_factory=list)
+    worst_excess: float = 0.0
+    final_gap: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_optimality(
+    trace: ExecutionTrace, tol: float = INVARIANT_TOL
+) -> OptimalityReport:
+    """``I_Z subseteq h_i[t]`` for all live states (Lemma 6).
+
+    Also reports ``final_gap``: the largest directed Hausdorff distance
+    from a fault-free output to ``I_Z`` — how much *extra* region beyond
+    the guaranteed optimum the run retained (Theorem 3 allows any excess;
+    the guarantee is one-sided).
+    """
+    points = trace.common_view_points()
+    if points.size == 0:
+        raise ValueError("trace has no common view; was the run completed?")
+    iz = optimal_polytope_iz(points, trace.f)
+    checked = 0
+    violations: list[tuple[int, int, float]] = []
+    worst = 0.0
+    for proc in trace.processes:
+        for t, state in proc.states.items():
+            checked += 1
+            excess = max(
+                (state.distance_to_point(v) for v in iz.vertices), default=0.0
+            )
+            if excess > tol:
+                violations.append((proc.pid, t, excess))
+                worst = max(worst, excess)
+    outputs = list(trace.fault_free_outputs().values())
+    final_gap = None
+    if outputs and not iz.is_empty:
+        final_gap = max(hausdorff_distance(out, iz) for out in outputs)
+    return OptimalityReport(
+        iz=iz,
+        checked_states=checked,
+        violations=violations,
+        worst_excess=worst,
+        final_gap=final_gap,
+    )
+
+
+@dataclass
+class StableVectorReport:
+    view_sizes: list[int]
+    liveness_ok: bool
+    containment_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.liveness_ok and self.containment_ok
+
+
+def check_stable_vector(trace: ExecutionTrace) -> StableVectorReport:
+    """Section 3 properties of the round-0 views ``R_i``.
+
+    Liveness: every process that completed round 0 holds ``>= n - f``
+    tuples.  Containment: all completed views are pairwise inclusion-
+    comparable.
+    """
+    views = [
+        set(proc.r_view) for proc in trace.processes if proc.r_view is not None
+    ]
+    sizes = [len(v) for v in views]
+    liveness = all(size >= trace.n - trace.f for size in sizes)
+    containment = True
+    for a_idx in range(len(views)):
+        for b_idx in range(a_idx + 1, len(views)):
+            a, b = views[a_idx], views[b_idx]
+            if not (a <= b or b <= a):
+                containment = False
+    return StableVectorReport(
+        view_sizes=sizes, liveness_ok=liveness, containment_ok=containment
+    )
+
+
+@dataclass
+class FullReport:
+    validity: ValidityReport
+    agreement: AgreementReport
+    termination: TerminationReport
+    optimality: OptimalityReport
+    stable_vector: StableVectorReport
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.validity.ok
+            and self.agreement.ok
+            and self.termination.ok
+            and self.optimality.ok
+            and self.stable_vector.ok
+        )
+
+
+def check_all(trace: ExecutionTrace, tol: float = INVARIANT_TOL) -> FullReport:
+    """Run every invariant check on one execution."""
+    return FullReport(
+        validity=check_validity(trace, tol=tol),
+        agreement=check_agreement(trace),
+        termination=check_termination(trace),
+        optimality=check_optimality(trace, tol=tol),
+        stable_vector=check_stable_vector(trace),
+    )

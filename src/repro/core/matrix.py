@@ -1,0 +1,229 @@
+"""Transition-matrix reconstruction and analysis (paper Section 5.1).
+
+The correctness proof represents each round of Algorithm CC as a product
+with a row-stochastic matrix:
+
+    v[t] = M[t] v[t-1]              (Eq. 7)
+
+where ``M[t]`` is built from what each process actually received:
+
+* **Rule 1** — for ``i`` not in ``F[t+1]``: entry ``M_ik[t] = 1/|MSG_i[t]|``
+  when a round-t message from ``k`` is in ``MSG_i[t]``, else 0;
+* **Rule 2** — for ``j`` in ``F[t+1]``: every entry ``1/n`` (the row is
+  irrelevant to live processes; stochasticity is kept for the algebra).
+
+This module reconstructs the matrices from an :class:`ExecutionTrace` and
+provides the checks the proof relies on:
+
+* :func:`verify_state_evolution` — Theorem 1: matrix evolution reproduces
+  the recorded polytopes exactly (up to geometric tolerance);
+* :func:`backward_products` — the products ``P[t] = M[t] ... M[1]``
+  (Eq. 4/13, "backward" convention);
+* :func:`ergodicity_coefficients` — Lemma 3: row-stochasticity of ``P[t]``
+  and ``max_k |P_ik - P_jk| <= (1 - 1/n)^t`` over fault-free ``i, j``;
+* :func:`check_claim1` — Appendix D Claim 1: ``P_jk[t] = 0`` for live ``j``
+  and ``k`` in ``F[1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.combination import stochastic_row_combination
+from ..geometry.hausdorff import hausdorff_distance
+from ..geometry.polytope import ConvexPolytope
+from ..runtime.tracing import ExecutionTrace
+
+
+def reconstruct_transition_matrices(trace: ExecutionTrace) -> list[np.ndarray]:
+    """Build ``M[1] .. M[t_end]`` from the trace (Rules 1 and 2).
+
+    Index ``t`` of the returned list holds ``M[t+1]`` (i.e. entry 0 is the
+    round-1 matrix).  A process counted live by ``F[t+1]`` but without a
+    recorded ``Y_i[t]`` (it crashed between freezing and its next send —
+    impossible — or decided at ``t_end``) falls back to Rule 2; the paper
+    makes the same "somewhat arbitrary" choice for irrelevant rows.
+    """
+    n = trace.n
+    matrices: list[np.ndarray] = []
+    for t in range(1, trace.t_end + 1):
+        crashed_next = trace.crashed_before_round(t + 1)
+        m = np.zeros((n, n))
+        for proc in trace.processes:
+            i = proc.pid
+            senders = proc.round_senders.get(t)
+            if i in crashed_next or senders is None:
+                m[i, :] = 1.0 / n  # Rule 2
+                continue
+            weight = 1.0 / len(senders)
+            for k in senders:
+                m[i, k] = weight  # Rule 1
+        matrices.append(m)
+    return matrices
+
+
+def backward_products(matrices: list[np.ndarray]) -> list[np.ndarray]:
+    """``P[t] = M[t] M[t-1] ... M[1]`` for every t (Eq. 4 convention)."""
+    products: list[np.ndarray] = []
+    acc: np.ndarray | None = None
+    for m in matrices:
+        acc = m if acc is None else m @ acc
+        products.append(acc.copy())
+    return products
+
+
+def is_row_stochastic(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """Non-negative entries, every row summing to 1 (within ``tol``)."""
+    if np.any(matrix < -tol):
+        return False
+    return bool(np.all(np.abs(matrix.sum(axis=1) - 1.0) <= tol))
+
+
+@dataclass
+class EvolutionCheck:
+    """Result of the Theorem 1 verification."""
+
+    rounds_checked: int
+    comparisons: int
+    max_hausdorff_error: float
+    failures: list[tuple[int, int, float]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def initial_state_vector(trace: ExecutionTrace) -> list[ConvexPolytope]:
+    """The paper's ``v[0]`` per initialisation steps (I1)/(I2).
+
+    (I1): live processes contribute their ``h_i[0]``.  (I2): processes in
+    ``F[1]`` get an arbitrary fault-free process's ``h_m[0]`` — the choice
+    provably cannot influence any live state.
+    """
+    crashed_first = trace.crashed_before_round(1)
+    fallback: ConvexPolytope | None = None
+    for proc in trace.processes:
+        if proc.pid not in trace.faulty and 0 in proc.states:
+            fallback = proc.states[0]
+            break
+    if fallback is None:
+        raise ValueError("no fault-free process computed h[0]")
+    vector: list[ConvexPolytope] = []
+    for proc in trace.processes:
+        if proc.pid in crashed_first or 0 not in proc.states:
+            vector.append(fallback)
+        else:
+            vector.append(proc.states[0])
+    return vector
+
+
+def verify_state_evolution(
+    trace: ExecutionTrace,
+    matrices: list[np.ndarray] | None = None,
+    *,
+    tol: float = 1e-6,
+) -> EvolutionCheck:
+    """Theorem 1: ``v_i[t] = h_i[t]`` for every live process and round.
+
+    Recomputes the matrix-form evolution with polytope states (the
+    products of Eq. 5/6 via function L) and compares each live process's
+    entry against the state the process actually computed.
+    """
+    if matrices is None:
+        matrices = reconstruct_transition_matrices(trace)
+    states = initial_state_vector(trace)
+    comparisons = 0
+    max_err = 0.0
+    failures: list[tuple[int, int, float]] = []
+    for t in range(1, len(matrices) + 1):
+        m = matrices[t - 1]
+        states = [
+            stochastic_row_combination(m[i], states) for i in range(trace.n)
+        ]
+        crashed_next = trace.crashed_before_round(t + 1)
+        for proc in trace.processes:
+            if proc.pid in crashed_next:
+                continue
+            recorded = proc.states.get(t)
+            if recorded is None:
+                continue
+            err = hausdorff_distance(states[proc.pid], recorded)
+            comparisons += 1
+            max_err = max(max_err, err)
+            if err > tol:
+                failures.append((t, proc.pid, err))
+    return EvolutionCheck(
+        rounds_checked=len(matrices),
+        comparisons=comparisons,
+        max_hausdorff_error=max_err,
+        failures=failures,
+    )
+
+
+@dataclass
+class ErgodicityCheck:
+    """Per-round Lemma 3 measurements."""
+
+    deltas: list[float]
+    bounds: list[float]
+    row_stochastic: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.row_stochastic and all(
+            delta <= bound + 1e-9 for delta, bound in zip(self.deltas, self.bounds)
+        )
+
+
+def ergodicity_coefficients(
+    trace: ExecutionTrace, matrices: list[np.ndarray] | None = None
+) -> ErgodicityCheck:
+    """Lemma 3: ``max_k |P_ik[t] - P_jk[t]| <= (1-1/n)^t`` for live i, j.
+
+    The paper states the bound for fault-free ``i, j``; we measure the
+    exact left-hand side over all fault-free pairs, per round, along with
+    row-stochasticity of every product.
+    """
+    if matrices is None:
+        matrices = reconstruct_transition_matrices(trace)
+    products = backward_products(matrices)
+    fault_free = trace.fault_free
+    gamma = 1.0 - 1.0 / trace.n
+    deltas: list[float] = []
+    bounds: list[float] = []
+    stochastic = True
+    for t, p in enumerate(products, start=1):
+        stochastic = stochastic and is_row_stochastic(p)
+        worst = 0.0
+        for a_idx in range(len(fault_free)):
+            for b_idx in range(a_idx + 1, len(fault_free)):
+                i, j = fault_free[a_idx], fault_free[b_idx]
+                worst = max(worst, float(np.max(np.abs(p[i] - p[j]))))
+        deltas.append(worst)
+        bounds.append(gamma**t)
+    return ErgodicityCheck(deltas=deltas, bounds=bounds, row_stochastic=stochastic)
+
+
+def check_claim1(
+    trace: ExecutionTrace, matrices: list[np.ndarray] | None = None
+) -> bool:
+    """Claim 1 (Appendix D): ``P_jk[t] = 0`` for live j and k in F[1]."""
+    if matrices is None:
+        matrices = reconstruct_transition_matrices(trace)
+    crashed_first = trace.crashed_before_round(1)
+    if not crashed_first:
+        return True
+    products = backward_products(matrices)
+    for t, p in enumerate(products, start=1):
+        live = [
+            pid
+            for pid in range(trace.n)
+            if pid not in trace.crashed_before_round(t + 1)
+        ]
+        for j in live:
+            for k in crashed_first:
+                if abs(p[j, k]) > 1e-12:
+                    return False
+    return True

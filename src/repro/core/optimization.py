@@ -1,0 +1,220 @@
+"""Convex hull function optimization — the paper's two-step algorithm.
+
+Section 7: given a cost function ``c`` that is b-Lipschitz on the input
+domain, each process
+
+* **Step 1** solves convex hull consensus with parameter
+  ``eps = beta / b``; let ``h_i`` be the decided polytope;
+* **Step 2** outputs ``(y_i, c(y_i))`` with ``y_i = argmin_{x in h_i} c(x)``
+  (ties broken arbitrarily).
+
+Guarantees proved in the paper: Validity, Termination, and weak
+beta-Optimality (``|c(y_i) - c(y_j)| < eps * b = beta``); epsilon-agreement
+on the *points* is NOT guaranteed (Theorem 4 shows it cannot be, in
+general).  The result object therefore reports both the cost spread and
+the point spread so experiments can exhibit the difference.
+
+The inner minimisation over a polytope uses:
+
+* exact vertex enumeration for linear costs,
+* Frank-Wolfe with exact line search for differentiable convex costs,
+* a vertex + Dirichlet-grid search fallback for non-smooth costs (the
+  Theorem 4 demonstrations use it for interval polytopes where it is
+  effectively exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.polytope import ConvexPolytope
+from ..runtime.faults import FaultPlan
+from ..runtime.scheduler import Scheduler
+from .costs import CostFunction, LinearCost, QuadraticCost
+from .runner import CCResult, run_convex_hull_consensus
+
+
+def minimize_over_polytope(
+    cost: CostFunction,
+    poly: ConvexPolytope,
+    *,
+    max_iter: int = 400,
+    grid_samples: int = 512,
+    seed: int = 0,
+) -> tuple[np.ndarray, float]:
+    """``argmin_{x in poly} c(x)`` (deterministic given the seed).
+
+    Exact for linear costs; Frank-Wolfe for smooth costs; sampled search
+    otherwise.  Returns ``(y, c(y))`` with ``y`` a member of ``poly``.
+    """
+    if poly.is_empty:
+        raise ValueError("cannot minimise over an empty polytope")
+    verts = poly.vertices
+    if poly.is_point:
+        y = verts[0].copy()
+        return y, cost(y)
+
+    if isinstance(cost, LinearCost):
+        vals = verts @ cost.weights + cost.offset
+        best = int(np.argmin(vals))
+        return verts[best].copy(), float(vals[best])
+
+    if isinstance(cost, QuadraticCost):
+        # argmin ||x - target||^2 over the polytope IS the Euclidean
+        # projection of the target — solved exactly by the active-set
+        # projector (Frank-Wolfe would zigzag at O(1/k) for interior
+        # optima and miss weak-optimality margins).
+        from ..geometry.projection import project_onto_hull
+
+        y, _ = project_onto_hull(cost.target, verts)
+        return y, cost(y)
+
+    probe_grad = cost.gradient(poly.centroid)
+    if probe_grad is not None and getattr(cost, "convex", False):
+        return _frank_wolfe(cost, poly, max_iter=max_iter)
+    return _sampled_search(cost, poly, grid_samples=grid_samples, seed=seed)
+
+
+def _frank_wolfe(
+    cost: CostFunction, poly: ConvexPolytope, *, max_iter: int
+) -> tuple[np.ndarray, float]:
+    """Frank-Wolfe over the V-rep: LMO = vertex minimising the gradient.
+
+    Uses backtracking line search (no curvature knowledge needed); the
+    duality gap ``<grad, x - s>`` certifies convergence.
+    """
+    verts = poly.vertices
+    x = poly.centroid.copy()
+    fx = cost(x)
+    scale = max(float(np.max(np.abs(verts))), 1.0)
+    for _ in range(max_iter):
+        grad = cost.gradient(x)
+        if grad is None:  # lost differentiability mid-path; fall back
+            return _sampled_search(cost, poly, grid_samples=512, seed=0)
+        idx = int(np.argmin(verts @ grad))
+        s = verts[idx]
+        gap = float(grad @ (x - s))
+        if gap <= 1e-12 * max(abs(fx), scale):
+            break
+        gamma = 1.0
+        direction = s - x
+        while gamma > 1e-12:
+            candidate = x + gamma * direction
+            fc = cost(candidate)
+            if fc < fx - 0.25 * gamma * gap:
+                x, fx = candidate, fc
+                break
+            gamma *= 0.5
+        else:
+            break
+    return x, fx
+
+
+def _sampled_search(
+    cost: CostFunction, poly: ConvexPolytope, *, grid_samples: int, seed: int
+) -> tuple[np.ndarray, float]:
+    """Vertices + deterministic Dirichlet mixtures; best point wins."""
+    from ..geometry.sampling import sample_in_polytope
+
+    candidates = [v for v in poly.vertices]
+    candidates.append(poly.centroid)
+    if poly.num_vertices >= 2 and grid_samples > 0:
+        candidates.extend(sample_in_polytope(poly, grid_samples, seed=seed))
+    best_y: np.ndarray | None = None
+    best_val = np.inf
+    for candidate in candidates:
+        val = cost(candidate)
+        if val < best_val:
+            best_val = val
+            best_y = np.asarray(candidate, dtype=float)
+    assert best_y is not None
+    return best_y.copy(), float(best_val)
+
+
+@dataclass
+class OptimizationResult:
+    """Per-process optimization outputs plus the underlying execution."""
+
+    minimizers: dict[int, np.ndarray]
+    values: dict[int, float]
+    beta: float
+    lipschitz: float
+    cc_result: CCResult
+
+    @property
+    def fault_free_values(self) -> dict[int, float]:
+        faulty = self.cc_result.trace.faulty
+        return {p: v for p, v in self.values.items() if p not in faulty}
+
+    def cost_spread(self) -> float:
+        """``max |c(y_i) - c(y_j)|`` over fault-free processes."""
+        vals = list(self.fault_free_values.values())
+        if len(vals) < 2:
+            return 0.0
+        return max(vals) - min(vals)
+
+    def point_spread(self) -> float:
+        """``max d_E(y_i, y_j)`` — NOT bounded by the algorithm (Thm 4)."""
+        faulty = self.cc_result.trace.faulty
+        pts = [p for pid, p in self.minimizers.items() if pid not in faulty]
+        worst = 0.0
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                worst = max(worst, float(np.linalg.norm(pts[i] - pts[j])))
+        return worst
+
+
+def run_function_optimization(
+    inputs,
+    f: int,
+    beta: float,
+    cost: CostFunction,
+    *,
+    fault_plan: FaultPlan | None = None,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    input_bounds: tuple[float, float] | None = None,
+) -> OptimizationResult:
+    """The two-step algorithm of Section 7.
+
+    Satisfies Validity, Termination, and weak beta-Optimality part (i)
+    (cost spread < beta).  Part (ii) — if 2f+1 processes share input x
+    then ``c(y_i) <= c(x)`` — follows from Lemma 6: the shared input has
+    Tukey depth >= f+1 in every view, hence lies in ``I_Z`` and in every
+    decided polytope.
+    """
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    arr = np.asarray(inputs, dtype=float)
+    if input_bounds is None:
+        lower, upper = float(arr.min()), float(arr.max())
+    else:
+        lower, upper = input_bounds
+    lipschitz = cost.lipschitz_bound(lower, upper, arr.shape[1])
+    if lipschitz <= 0:
+        raise ValueError("cost reported a non-positive Lipschitz bound")
+    eps = beta / lipschitz
+    cc = run_convex_hull_consensus(
+        inputs,
+        f,
+        eps,
+        fault_plan=fault_plan,
+        scheduler=scheduler,
+        seed=seed,
+        input_bounds=(lower, upper),
+    )
+    minimizers: dict[int, np.ndarray] = {}
+    values: dict[int, float] = {}
+    for pid, poly in cc.outputs.items():
+        y, val = minimize_over_polytope(cost, poly, seed=seed)
+        minimizers[pid] = y
+        values[pid] = val
+    return OptimizationResult(
+        minimizers=minimizers,
+        values=values,
+        beta=beta,
+        lipschitz=lipschitz,
+        cc_result=cc,
+    )

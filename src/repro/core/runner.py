@@ -1,0 +1,158 @@
+"""One-call driver: set up, run, and package a convex-hull-consensus run.
+
+:func:`run_convex_hull_consensus` is the primary public API of the library.
+It wires inputs, fault plan, and scheduler into the simulated asynchronous
+system, runs Algorithm CC to termination, and returns a :class:`CCResult`
+bundling the decisions with the full :class:`ExecutionTrace` needed by the
+analysis and invariant layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.linalg import as_points_array
+from ..geometry.polytope import ConvexPolytope
+from ..runtime.faults import FaultPlan
+from ..runtime.scheduler import Scheduler, default_scheduler
+from ..runtime.simulator import SimulationReport, run_simulation
+from ..runtime.tracing import ExecutionTrace, ProcessTrace
+from .algorithm_cc import CCProcess
+from .config import CCConfig
+
+
+@dataclass
+class CCResult:
+    """Everything a caller might want from one execution."""
+
+    config: CCConfig
+    trace: ExecutionTrace
+    report: SimulationReport
+
+    @property
+    def outputs(self) -> dict[int, ConvexPolytope]:
+        """Decision polytope of every process that decided."""
+        return self.trace.outputs()
+
+    @property
+    def fault_free_outputs(self) -> dict[int, ConvexPolytope]:
+        return self.trace.fault_free_outputs()
+
+    def output_of(self, pid: int) -> ConvexPolytope:
+        return self.trace.outputs()[pid]
+
+
+def derive_bounds(inputs: np.ndarray, margin: float = 0.0) -> tuple[float, float]:
+    """A-priori coordinate bounds covering the given inputs.
+
+    In the model the bounds ``[mu, U]`` are known beforehand; experiments
+    that generate inputs first can use this helper to declare consistent
+    bounds (optionally padded by ``margin``).
+    """
+    lo = float(inputs.min()) - margin
+    hi = float(inputs.max()) + margin
+    return lo, hi
+
+
+def build_config(
+    inputs: np.ndarray,
+    f: int,
+    eps: float,
+    *,
+    input_bounds: tuple[float, float] | None = None,
+    enforce_resilience: bool = True,
+) -> CCConfig:
+    """Construct a :class:`CCConfig` matching an input array."""
+    pts = as_points_array(inputs)
+    n, dim = pts.shape
+    if input_bounds is None:
+        lo, hi = derive_bounds(pts)
+    else:
+        lo, hi = input_bounds
+    return CCConfig(
+        n=n,
+        f=f,
+        dim=dim,
+        eps=eps,
+        input_lower=lo,
+        input_upper=hi,
+        enforce_resilience=enforce_resilience,
+    )
+
+
+def run_convex_hull_consensus(
+    inputs,
+    f: int,
+    eps: float,
+    *,
+    fault_plan: FaultPlan | None = None,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    input_bounds: tuple[float, float] | None = None,
+    enforce_resilience: bool = True,
+) -> CCResult:
+    """Run Algorithm CC on the given inputs under the given adversary.
+
+    Parameters
+    ----------
+    inputs:
+        ``(n, d)`` array — row ``i`` is the input of process ``i`` (the
+        rows of faulty processes are their *incorrect* inputs).
+    f:
+        Fault-tolerance parameter (maximum number of faulty processes).
+    eps:
+        Agreement parameter: outputs satisfy ``d_H(h_i, h_j) < eps``.
+    fault_plan:
+        Which processes are faulty and when they crash; defaults to the
+        fault-free execution.
+    scheduler:
+        Adversarial delivery order; defaults to a seeded random scheduler.
+    seed:
+        Seed for the default scheduler (ignored when one is supplied).
+    input_bounds:
+        The a-priori ``[mu, U]``; derived from ``inputs`` when omitted.
+    enforce_resilience:
+        Set False to deliberately run below ``n >= (d+2)f+1``.
+
+    Returns a :class:`CCResult`; raises
+    :class:`~repro.core.algorithm_cc.EmptyInitialPolytopeError` if the
+    round-0 intersection is empty (possible only below the bound).
+    """
+    pts = as_points_array(inputs)
+    config = build_config(
+        pts,
+        f,
+        eps,
+        input_bounds=input_bounds,
+        enforce_resilience=enforce_resilience,
+    )
+    plan = fault_plan or FaultPlan.none()
+    sched = scheduler or default_scheduler(seed=seed)
+    sched.reset()
+
+    traces = [
+        ProcessTrace(pid=i, input_point=pts[i].copy()) for i in range(config.n)
+    ]
+    cores = [
+        CCProcess(pid=i, config=config, input_point=pts[i], trace=traces[i])
+        for i in range(config.n)
+    ]
+    report = run_simulation(cores, fault_plan=plan, scheduler=sched)
+
+    trace = ExecutionTrace(
+        n=config.n,
+        f=config.f,
+        dim=config.dim,
+        eps=config.eps,
+        t_end=config.t_end,
+        fault_plan=plan,
+        seed=seed,
+        scheduler_name=type(sched).__name__,
+        processes=traces,
+        messages_sent=report.messages_sent,
+        messages_delivered=report.messages_delivered,
+        delivery_steps=report.delivery_steps,
+    )
+    return CCResult(config=config, trace=trace, report=report)

@@ -1,0 +1,141 @@
+"""The paper's Section 7 conjecture, made testable.
+
+The paper closes Section 7 with: "we believe that when the cost function
+is D-strongly convex and differentiable, it can be shown that the 2-step
+algorithm ... also ensures that d_E(y_i, y_j) is bounded by a function of
+eps, b and D.  We have some preliminary analysis, but a formal proof has
+not been developed."
+
+There *is* a clean quantitative candidate.  For a D-strongly convex cost
+``c`` and convex sets ``K1, K2`` with Hausdorff distance at most ``eps``,
+let ``y_i = argmin_{K_i} c``.  Pick ``y2' in K1`` with
+``|y2' − y2| <= eps``; then
+
+    c(y2') <= c(y2) + b eps <= c(y1') + b eps     (y1' in K2 near y1)
+           <= c(y1) + 2 b eps,
+
+and strong convexity at the constrained minimiser ``y1`` of ``K1`` gives
+``c(x) >= c(y1) + (D/2)|x − y1|^2`` for ``x in K1`` (the first-order term
+is non-negative by optimality).  Applying it to ``x = y2'``:
+
+    |y2' − y1| <= sqrt(4 b eps / D),
+    |y2 − y1|  <= sqrt(4 b eps / D) + eps.
+
+:func:`conjectured_point_spread_bound` computes this bound;
+:func:`probe_conjecture` measures actual argmin spreads on polytope pairs
+at controlled Hausdorff distance so experiment E13 can chart the measured
+spread against the candidate bound (shape check: spread = O(sqrt(eps))).
+This is exploratory — the paper proves nothing here, and neither do we;
+we *measure*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.hausdorff import hausdorff_distance
+from ..geometry.polytope import ConvexPolytope
+from .costs import QuadraticCost
+from .optimization import minimize_over_polytope
+
+
+def conjectured_point_spread_bound(
+    eps: float, lipschitz: float, strong_convexity: float
+) -> float:
+    """``sqrt(4 b eps / D) + eps`` — the candidate bound derived above."""
+    if eps < 0 or lipschitz <= 0 or strong_convexity <= 0:
+        raise ValueError("eps >= 0, b > 0, D > 0 required")
+    return float(np.sqrt(4.0 * lipschitz * eps / strong_convexity) + eps)
+
+
+@dataclass
+class ConjectureProbe:
+    """One measurement: a polytope pair at distance ~eps and its spreads."""
+
+    eps_target: float
+    hausdorff: float
+    point_spread: float
+    cost_spread: float
+    bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        return self.point_spread <= self.bound + 1e-9
+
+
+def _perturbed_pair(
+    seed: int, eps: float, dim: int
+) -> tuple[ConvexPolytope, ConvexPolytope]:
+    """Two polytopes with Hausdorff distance O(eps): vertex jitter."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-1.0, 1.0, size=(dim + 4, dim))
+    a = ConvexPolytope.from_points(pts)
+    jitter = rng.uniform(-eps, eps, size=pts.shape)
+    b = ConvexPolytope.from_points(pts + jitter)
+    return a, b
+
+
+def probe_conjecture(
+    *,
+    eps: float,
+    dim: int = 2,
+    trials: int = 10,
+    target=None,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[ConjectureProbe]:
+    """Measure argmin spreads for a D-strongly-convex quadratic cost.
+
+    The cost is ``scale * ||x − target||²`` (strong convexity D = 2·scale,
+    gradient Lipschitz over the sampled domain computed per pair).  For
+    each trial a perturbed polytope pair at Hausdorff distance ~eps is
+    minimised over and the spreads recorded against the candidate bound.
+    """
+    target_point = (
+        np.zeros(dim) if target is None else np.asarray(target, dtype=float)
+    )
+    cost = QuadraticCost(target_point, scale=scale)
+    strong_convexity = 2.0 * scale
+    probes: list[ConjectureProbe] = []
+    for trial in range(trials):
+        poly_a, poly_b = _perturbed_pair(seed * 1000 + trial, eps, dim)
+        dist = hausdorff_distance(poly_a, poly_b)
+        if dist <= 0:
+            continue
+        y_a, c_a = minimize_over_polytope(cost, poly_a)
+        y_b, c_b = minimize_over_polytope(cost, poly_b)
+        # Per-pair Lipschitz bound of the gradient magnitude on the hulls.
+        span = max(
+            float(np.max(np.linalg.norm(poly_a.vertices - target_point, axis=1))),
+            float(np.max(np.linalg.norm(poly_b.vertices - target_point, axis=1))),
+        )
+        lipschitz = 2.0 * scale * span
+        probes.append(
+            ConjectureProbe(
+                eps_target=eps,
+                hausdorff=dist,
+                point_spread=float(np.linalg.norm(y_a - y_b)),
+                cost_spread=float(abs(c_a - c_b)),
+                bound=conjectured_point_spread_bound(
+                    dist, lipschitz, strong_convexity
+                ),
+            )
+        )
+    return probes
+
+
+def fitted_exponent(eps_values, spreads) -> float | None:
+    """Log-log slope of spread vs eps — the conjecture predicts ~0.5.
+
+    Returns None when fewer than two positive observations exist.
+    """
+    xs, ys = [], []
+    for eps, spread in zip(eps_values, spreads):
+        if eps > 0 and spread > 1e-14:
+            xs.append(np.log(eps))
+            ys.append(np.log(spread))
+    if len(xs) < 2:
+        return None
+    return float(np.polyfit(xs, ys, 1)[0])

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the geometry layer.
+
+All geometry failures derive from :class:`GeometryError` so callers in the
+consensus layer can catch the whole family in one clause while tests can
+assert on specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class GeometryError(Exception):
+    """Base class for all geometry-layer errors."""
+
+
+class DimensionMismatchError(GeometryError):
+    """Operands live in Euclidean spaces of different dimensions."""
+
+
+class EmptyPolytopeError(GeometryError):
+    """An operation that requires a non-empty polytope received an empty one."""
+
+
+class DegenerateInputError(GeometryError):
+    """Input point set is degenerate in a way the operation cannot handle."""
+
+
+class HullComputationError(GeometryError):
+    """The underlying hull computation failed (e.g. Qhull error)."""
+
+
+class InfeasibleRegionError(GeometryError):
+    """A halfspace system or intersection turned out to be empty."""
+
+
+class SolverError(GeometryError):
+    """An internal numeric solver (LP / projection) failed to converge."""

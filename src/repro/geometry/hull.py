@@ -1,0 +1,164 @@
+"""Convex hull computation in arbitrary dimension with degeneracy handling.
+
+Implements the paper's function ``H(X)`` (Definition 1): the convex hull of
+a multiset of points.  The public entry point is :func:`hull_vertices`,
+which returns a *minimal* vertex representation (extreme points only) and
+never fails on degenerate input:
+
+* 0 or 1 distinct points -> the points themselves,
+* affinely 1-dimensional sets (in any ambient dimension) -> the two extreme
+  points along the line,
+* 2-dimensional sets -> Andrew's monotone chain (our own implementation,
+  exercised against Qhull in tests),
+* full-dimensional sets in d >= 2 -> scipy/Qhull,
+* sets whose affine dimension is below the ambient dimension -> hull in an
+  isometric chart of the affine hull (see :mod:`repro.geometry.linalg`),
+  mapped back to ambient coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import HullComputationError
+from .linalg import affine_chart, as_points_array, deduplicate_points
+from .tolerances import ABS_TOL, RANK_TOL
+
+try:  # scipy is a hard dependency of the package, but keep the import local
+    from scipy.spatial import ConvexHull as _ScipyConvexHull
+    from scipy.spatial import QhullError as _QhullError
+except ImportError:  # pragma: no cover - scipy is always present in CI
+    _ScipyConvexHull = None
+    _QhullError = Exception
+
+
+def hull_vertices_1d(points: np.ndarray) -> np.ndarray:
+    """Extreme points of a 1-d point set: its min and max (or single point)."""
+    pts = as_points_array(points)
+    if pts.shape[0] == 0:
+        return pts.copy()
+    lo = float(pts.min())
+    hi = float(pts.max())
+    if hi - lo <= ABS_TOL:
+        return np.array([[lo]])
+    return np.array([[lo], [hi]])
+
+
+def hull_vertices_2d(points: np.ndarray) -> np.ndarray:
+    """Andrew's monotone chain convex hull for 2-d points.
+
+    Returns extreme points in counter-clockwise order.  Collinear points on
+    the boundary are dropped (minimal representation).  This is an
+    independent implementation used both as the 2-d fast path and as a
+    cross-check for the Qhull-based general path in the test suite.
+    """
+    pts = deduplicate_points(as_points_array(points, dim=2))
+    m = pts.shape[0]
+    if m <= 2:
+        return pts
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    sorted_pts = pts[order]
+
+    def turns_right(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> bool:
+        """True when ``a`` should be pruned from the chain ``o -> a -> b``.
+
+        The classic monotone-chain prune tests ``cross <= eps`` with an
+        *area* threshold, which can drop a vertex whose perpendicular
+        distance from the chord ``o-b`` (the sagitta — the actual geometric
+        erosion) is far larger than the area when the chord is short.  We
+        therefore prune on the sagitta itself: ``cross / |b - o| <= eps``.
+        The erosion of the returned hull is then bounded by ``eps``
+        directly, which keeps iterated constructions (e.g. the per-round
+        Minkowski combinations of Algorithm CC) from accumulating
+        super-tolerance boundary loss.
+        """
+        cross = (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+        chord = float(np.hypot(b[0] - o[0], b[1] - o[1]))
+        return cross <= eps * max(chord, eps)
+
+    # Scale-aware collinearity threshold (a distance, not an area).
+    span = float(np.max(sorted_pts.max(axis=0) - sorted_pts.min(axis=0)))
+    eps = ABS_TOL * max(span, 1.0)
+
+    lower: list[np.ndarray] = []
+    for p in sorted_pts:
+        while len(lower) >= 2 and turns_right(lower[-2], lower[-1], p):
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in sorted_pts[::-1]:
+        while len(upper) >= 2 and turns_right(upper[-2], upper[-1], p):
+            upper.pop()
+        upper.append(p)
+    ring = lower[:-1] + upper[:-1]
+    if not ring:  # fully collinear: keep the two extremes
+        return np.array([sorted_pts[0], sorted_pts[-1]])
+    return np.array(ring)
+
+
+def _hull_vertices_qhull(points: np.ndarray) -> np.ndarray:
+    """Full-dimensional hull via Qhull; raises on degenerate input."""
+    if _ScipyConvexHull is None:  # pragma: no cover
+        raise HullComputationError("scipy is required for hulls in dimension >= 3")
+    try:
+        hull = _ScipyConvexHull(points)
+    except _QhullError as exc:
+        raise HullComputationError(f"Qhull failed: {exc}") from exc
+    return points[hull.vertices]
+
+
+def hull_vertices(points, rank_tol: float = RANK_TOL) -> np.ndarray:
+    """Minimal vertex representation of ``conv(points)`` in any dimension.
+
+    The result is an ``(m, d)`` array of the extreme points of the hull.
+    Degenerate inputs (affine dimension below ambient dimension) are handled
+    by recursing into an isometric chart of the affine hull.  The output for
+    an empty input is an empty ``(0, d)`` array.
+    """
+    pts = deduplicate_points(as_points_array(points))
+    m, d = pts.shape if pts.size else (0, pts.shape[1] if pts.ndim == 2 else 0)
+    if m == 0:
+        return pts.copy()
+    if m == 1:
+        return pts.copy()
+    if d == 1:
+        return hull_vertices_1d(pts)
+
+    chart = affine_chart(pts, rank_tol=rank_tol)
+    k = chart.local_dim
+    if k == 0:
+        # All points coincide within tolerance.
+        return pts[:1].copy()
+    if k < d:
+        local = chart.to_local(pts)
+        local_hull = hull_vertices(local, rank_tol=rank_tol)
+        return chart.to_ambient(local_hull)
+    if d == 2:
+        return hull_vertices_2d(pts)
+    if m <= d + 1:
+        # A simplex (or sub-simplex) of full affine rank: every point is
+        # extreme; Qhull needs at least d+1 points anyway.
+        return pts.copy()
+    return _hull_vertices_qhull(pts)
+
+
+def is_extreme_point_set(vertices: np.ndarray, rank_tol: float = RANK_TOL) -> bool:
+    """True when no vertex is a convex combination of the others.
+
+    Used by tests to assert minimality of the representations produced by
+    :func:`hull_vertices`.  Quadratic in the number of vertices; intended
+    for verification, not hot paths.
+    """
+    from .projection import project_onto_hull  # local import to avoid a cycle
+
+    verts = as_points_array(vertices)
+    m = verts.shape[0]
+    if m <= 1:
+        return True
+    scale = max(float(np.max(np.abs(verts))), 1.0)
+    for i in range(m):
+        others = np.delete(verts, i, axis=0)
+        projected, _ = project_onto_hull(verts[i], others)
+        if np.linalg.norm(projected - verts[i]) <= 1e-7 * scale:
+            return False
+    return True

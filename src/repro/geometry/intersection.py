@@ -1,0 +1,177 @@
+"""Intersections of convex hulls — line 5 of Algorithm CC and Eq. (21).
+
+The paper's round-0 computation at process ``i`` is
+
+    h_i[0] := intersection over all C subset X_i with |C| = |X_i| - f
+              of H(C)                                               (line 5)
+
+and the optimality polytope of Section 6 is the same operation applied to
+the common view ``X_Z`` (Eq. 21).  Both are implemented by
+:func:`intersect_subset_hulls`.
+
+Implementation notes
+--------------------
+* 1-d fast path: with the multiset sorted ascending as ``x_(1..m)``, the
+  intersection is exactly ``[x_(f+1), x_(m-f)]`` (possibly empty) — the
+  max-over-subsets of the subset minimum is attained by discarding the f
+  smallest points, and symmetrically for the upper endpoint.
+* General dimension: every subset hull contributes its facet halfspaces
+  (with degenerate hulls contributing affine-hull equality pairs, see
+  :func:`repro.geometry.halfspaces.hrep_of_hull`); the stacked system is
+  deduplicated and handed to the degeneracy-aware vertex enumerator.
+* The combinatorial cost is C(m, f) hull computations — inherent to the
+  algorithm's definition, not to this implementation.  ``f = 0`` short
+  circuits to the plain hull.
+* Cross-validation: the intersection equals the Tukey-depth >= f+1 region
+  (see :mod:`repro.geometry.depth`); the property-based test suite checks
+  the equivalence in 1-d and 2-d.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .errors import InfeasibleRegionError
+from .halfspaces import (
+    dedupe_halfspaces,
+    feasible_point,
+    hrep_of_hull,
+    vertices_of_halfspace_system,
+)
+from .linalg import affine_chart, affine_rank, as_points_array
+from .polytope import ConvexPolytope
+from .tolerances import ABS_TOL
+
+
+def subset_count(m: int, f: int) -> int:
+    """Number of subset hulls line 5 intersects: C(m, f)."""
+    from math import comb
+
+    return comb(m, f)
+
+
+def _intersect_subsets_1d(values: np.ndarray, f: int) -> ConvexPolytope:
+    """Order-statistics fast path for the 1-d subset intersection."""
+    srt = np.sort(values)
+    m = srt.size
+    lo = float(srt[f])          # x_(f+1) in 1-based indexing
+    hi = float(srt[m - f - 1])  # x_(m-f)
+    if hi < lo - ABS_TOL:
+        return ConvexPolytope.empty(1)
+    if hi < lo:
+        hi = lo
+    return ConvexPolytope.from_interval(lo, hi)
+
+
+def intersect_hulls(vertex_sets: list[np.ndarray], dim: int) -> ConvexPolytope:
+    """Intersection of ``conv(V)`` over the given vertex arrays.
+
+    Returns the (possibly empty, possibly lower-dimensional) intersection
+    as a :class:`ConvexPolytope`.
+    """
+    if not vertex_sets:
+        raise ValueError("intersect_hulls requires at least one hull")
+    rows = []
+    offs = []
+    for verts in vertex_sets:
+        a, b = hrep_of_hull(verts)
+        rows.append(a)
+        offs.append(b)
+    a_all = np.vstack(rows)
+    b_all = np.concatenate(offs)
+    a_all, b_all = dedupe_halfspaces(a_all, b_all)
+    vertices = vertices_of_halfspace_system(a_all, b_all)
+    if vertices.shape[0] == 0:
+        return ConvexPolytope.empty(dim)
+    return ConvexPolytope.from_points(vertices, dim=dim)
+
+
+def intersect_subset_hulls(points, f: int) -> ConvexPolytope:
+    """``intersection over |C| = m - f subsets C of points of H(C)``.
+
+    ``points`` is the multiset ``X_i`` (duplicates meaningful: a value
+    reported by several processes is harder for the adversary to discard).
+    ``f`` is the fault bound.  Raises ``ValueError`` when ``m - f < 1``.
+    """
+    pts = as_points_array(points)
+    m, dim = pts.shape
+    if f < 0:
+        raise ValueError(f"f must be non-negative, got {f}")
+    if m - f < 1:
+        raise ValueError(
+            f"cannot drop f={f} points from a multiset of size {m}"
+        )
+    if f == 0:
+        return ConvexPolytope.from_points(pts)
+    if dim == 1:
+        return _intersect_subsets_1d(pts[:, 0], f)
+
+    # If the whole multiset is lower-dimensional, chart-project the entire
+    # problem: the intersection lives in the same affine hull.
+    rank = affine_rank(pts)
+    if rank < dim:
+        chart = affine_chart(pts)
+        if chart.local_dim == 0:
+            return ConvexPolytope.singleton(pts[0])
+        local = chart.to_local(pts)
+        local_poly = intersect_subset_hulls(local, f)
+        if local_poly.is_empty:
+            return ConvexPolytope.empty(dim)
+        return ConvexPolytope.from_points(
+            chart.to_ambient(local_poly.vertices), dim=dim
+        )
+
+    vertex_sets = [
+        np.delete(pts, list(drop), axis=0)
+        for drop in combinations(range(m), f)
+    ]
+    return intersect_hulls(vertex_sets, dim)
+
+
+def subset_intersection_is_nonempty(points, f: int) -> bool:
+    """LP-only nonemptiness test for the subset-hull intersection.
+
+    Much cheaper than :func:`intersect_subset_hulls` when only feasibility
+    matters (experiment E5 sweeps this over many configurations).  By
+    Tverberg's theorem (paper Theorem 5 / Lemma 2) this is guaranteed True
+    whenever ``m >= (d+1)f + 1``.
+    """
+    pts = as_points_array(points)
+    m, dim = pts.shape
+    if m - f < 1:
+        return False
+    if f == 0:
+        return True
+    if dim == 1:
+        srt = np.sort(pts[:, 0])
+        return bool(srt[m - f - 1] >= srt[f] - ABS_TOL)
+    rank = affine_rank(pts)
+    if rank < dim:
+        chart = affine_chart(pts)
+        if chart.local_dim == 0:
+            return True
+        return subset_intersection_is_nonempty(chart.to_local(pts), f)
+    rows, offs = [], []
+    for drop in combinations(range(m), f):
+        a, b = hrep_of_hull(np.delete(pts, list(drop), axis=0))
+        rows.append(a)
+        offs.append(b)
+    a_all, b_all = dedupe_halfspaces(np.vstack(rows), np.concatenate(offs))
+    try:
+        feasible_point(a_all, b_all)
+    except InfeasibleRegionError:
+        return False
+    return True
+
+
+def optimal_polytope_iz(common_view_points, f: int) -> ConvexPolytope:
+    """The paper's ``I_Z`` (Eq. 21): subset intersection over ``X_Z``.
+
+    ``common_view_points`` is the multiset of inputs appearing in the
+    common view ``Z = intersection of all R_i`` (Eq. 20); the returned
+    polytope lower-bounds every fault-free output (Lemma 6) and upper
+    bounds what *any* algorithm can guarantee (Theorem 3).
+    """
+    return intersect_subset_hulls(common_view_points, f)

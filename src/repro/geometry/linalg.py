@@ -1,0 +1,149 @@
+"""Affine-subspace utilities used to handle degenerate point sets.
+
+Qhull (scipy's hull backend) requires input of full affine dimension.  Real
+executions of Algorithm CC routinely produce degenerate sets: all inputs on
+a line, the output polytope collapsing toward a single point at the
+resilience bound ``n = (d+2)f + 1``, or 1-dimensional problems (d=1).  The
+functions here detect the affine dimension of a point set and provide an
+isometric chart onto that affine hull so hull / volume / intersection code
+can run in the reduced space and map results back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import DimensionMismatchError
+from .tolerances import RANK_TOL
+
+
+def as_points_array(points, dim: int | None = None) -> np.ndarray:
+    """Coerce ``points`` to a float64 array of shape ``(m, d)``.
+
+    Accepts any nested sequence or array.  A 1-d array of length ``k`` is
+    interpreted as a single ``k``-dimensional point.  When ``dim`` is given,
+    the result is validated against it.
+    """
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1) if arr.size else arr.reshape(0, 0)
+    if arr.ndim != 2:
+        raise DimensionMismatchError(
+            f"expected a (m, d) array of points, got shape {arr.shape}"
+        )
+    if dim is not None and arr.shape[0] > 0 and arr.shape[1] != dim:
+        raise DimensionMismatchError(
+            f"expected points of dimension {dim}, got {arr.shape[1]}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("points must be finite (no NaN/inf)")
+    return arr
+
+
+def affine_rank(points: np.ndarray, rank_tol: float = RANK_TOL) -> int:
+    """Affine dimension of the set ``points`` (0 for a single point).
+
+    Computed from the singular values of the centred point matrix, with a
+    scale-aware threshold so that e.g. points on a line of length 1e6 are
+    still recognised as rank 1.
+    """
+    pts = as_points_array(points)
+    if pts.shape[0] <= 1:
+        return 0
+    centred = pts - pts.mean(axis=0)
+    sv = np.linalg.svd(centred, compute_uv=False)
+    if sv.size == 0:
+        return 0
+    scale = max(sv[0], 1.0)
+    return int(np.sum(sv > rank_tol * scale))
+
+
+@dataclass(frozen=True)
+class AffineChart:
+    """An isometric parameterisation of the affine hull of a point set.
+
+    ``origin`` is a point on the subspace and ``basis`` is an orthonormal
+    ``(k, d)`` matrix whose rows span the subspace directions, so that
+
+    * :meth:`to_local` maps ambient points into ``k``-dim local coordinates,
+    * :meth:`to_ambient` maps local coordinates back, and
+    * distances are preserved in both directions (the chart is an isometry),
+
+    which means hulls, volumes (k-dimensional measure) and Hausdorff
+    distances computed in local coordinates are exactly those of the
+    original set within its affine hull.
+    """
+
+    origin: np.ndarray
+    basis: np.ndarray  # shape (k, d), orthonormal rows
+
+    @property
+    def ambient_dim(self) -> int:
+        return self.origin.shape[0]
+
+    @property
+    def local_dim(self) -> int:
+        return self.basis.shape[0]
+
+    def to_local(self, points: np.ndarray) -> np.ndarray:
+        pts = as_points_array(points, dim=self.ambient_dim)
+        return (pts - self.origin) @ self.basis.T
+
+    def to_ambient(self, local_points: np.ndarray) -> np.ndarray:
+        loc = np.asarray(local_points, dtype=float)
+        if loc.ndim == 1:
+            loc = loc.reshape(1, -1)
+        if loc.shape[1] != self.local_dim:
+            raise DimensionMismatchError(
+                f"expected local dimension {self.local_dim}, got {loc.shape[1]}"
+            )
+        return self.origin + loc @ self.basis
+
+    def distance_from_subspace(self, points: np.ndarray) -> np.ndarray:
+        """Euclidean distance of each point from the affine subspace."""
+        pts = as_points_array(points, dim=self.ambient_dim)
+        rel = pts - self.origin
+        proj = rel @ self.basis.T @ self.basis
+        return np.linalg.norm(rel - proj, axis=1)
+
+
+def affine_chart(points: np.ndarray, rank_tol: float = RANK_TOL) -> AffineChart:
+    """Build an :class:`AffineChart` for the affine hull of ``points``.
+
+    The chart's local dimension equals :func:`affine_rank` of the set.  For
+    a single point the basis is empty (local dimension 0).
+    """
+    pts = as_points_array(points)
+    if pts.shape[0] == 0:
+        raise ValueError("cannot build an affine chart for an empty point set")
+    origin = pts.mean(axis=0)
+    centred = pts - origin
+    if pts.shape[0] == 1:
+        return AffineChart(origin=pts[0].copy(), basis=np.zeros((0, pts.shape[1])))
+    _u, sv, vt = np.linalg.svd(centred, full_matrices=False)
+    scale = max(sv[0] if sv.size else 0.0, 1.0)
+    k = int(np.sum(sv > rank_tol * scale))
+    return AffineChart(origin=origin, basis=vt[:k])
+
+
+def deduplicate_points(points: np.ndarray, tol: float = 1e-12) -> np.ndarray:
+    """Remove near-duplicate points (within ``tol`` per coordinate).
+
+    Vectorised grid-snap dedupe: points are bucketed by rounding each
+    coordinate to the ``tol`` grid and one representative (the first, in
+    input order) is kept per bucket.  Two points closer than ``tol`` can
+    land in adjacent buckets and both survive — that is harmless for our
+    callers (hull computations), which only require that *exact* and
+    near-exact duplicates not flood the vertex set.
+    """
+    pts = as_points_array(points)
+    if pts.shape[0] <= 1:
+        return pts.copy()
+    if tol <= 0:
+        snapped = pts
+    else:
+        snapped = np.round(pts / tol) * tol
+    _, first_idx = np.unique(snapped, axis=0, return_index=True)
+    return pts[np.sort(first_idx)]

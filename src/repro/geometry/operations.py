@@ -1,0 +1,111 @@
+"""General polytope operations built on the H/V machinery.
+
+Public conveniences a downstream user of the library expects beyond what
+Algorithm CC itself needs: pairwise/group intersection of polytopes,
+Minkowski sums and scalar dilation, and common constructors.  Everything
+routes through the degeneracy-aware kernel, so empty and flat results are
+handled uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .combination import linear_combination
+from .errors import DimensionMismatchError, EmptyPolytopeError
+from .hull import hull_vertices
+from .intersection import intersect_hulls
+from .polytope import ConvexPolytope
+
+
+def intersect_polytopes(polytopes: Sequence[ConvexPolytope]) -> ConvexPolytope:
+    """Intersection of arbitrarily many convex polytopes.
+
+    Returns the (possibly empty, possibly lower-dimensional) intersection.
+    An empty operand makes the result empty immediately.
+    """
+    polys = list(polytopes)
+    if not polys:
+        raise ValueError("intersect_polytopes requires at least one polytope")
+    dim = polys[0].dim
+    for poly in polys:
+        if poly.dim != dim:
+            raise DimensionMismatchError("mixed dimensions in intersection")
+        if poly.is_empty:
+            return ConvexPolytope.empty(dim)
+    if len(polys) == 1:
+        return polys[0]
+    return intersect_hulls([p.vertices for p in polys], dim)
+
+
+def minkowski_sum(a: ConvexPolytope, b: ConvexPolytope) -> ConvexPolytope:
+    """The Minkowski sum ``A + B = {x + y : x in A, y in B}``.
+
+    Related to the paper's L by ``A + B = 2 * L([A, B]; [1/2, 1/2])``; we
+    compute it directly from vertex sums for clarity.
+    """
+    if a.dim != b.dim:
+        raise DimensionMismatchError("Minkowski sum of mixed dimensions")
+    if a.is_empty or b.is_empty:
+        raise EmptyPolytopeError("Minkowski sum of an empty polytope")
+    sums = (a.vertices[:, None, :] + b.vertices[None, :, :]).reshape(-1, a.dim)
+    return ConvexPolytope.from_points(hull_vertices(sums), dim=a.dim)
+
+
+def dilate(poly: ConvexPolytope, factor: float) -> ConvexPolytope:
+    """Scalar dilation about the origin: ``factor * P``."""
+    if poly.is_empty:
+        return poly
+    if factor == 0.0:
+        return ConvexPolytope.singleton(np.zeros(poly.dim))
+    return ConvexPolytope.from_points(poly.vertices * factor, dim=poly.dim)
+
+
+def interpolate(
+    a: ConvexPolytope, b: ConvexPolytope, t: float
+) -> ConvexPolytope:
+    """Geodesic of the paper's L: ``L([a, b]; [1-t, t])`` for t in [0, 1].
+
+    At t=0 it is ``a``, at t=1 it is ``b``; intermediate values trace the
+    Minkowski-linear path Algorithm CC's averaging walks along.
+    """
+    if not 0.0 <= t <= 1.0:
+        raise ValueError(f"t must lie in [0, 1], got {t}")
+    return linear_combination([a, b], [1.0 - t, t])
+
+
+def regular_polygon(
+    sides: int, *, radius: float = 1.0, center=(0.0, 0.0), phase: float = 0.0
+) -> ConvexPolytope:
+    """A regular polygon in the plane (testing / example constructor)."""
+    if sides < 3:
+        raise ValueError("a polygon needs at least 3 sides")
+    theta = np.linspace(0.0, 2.0 * np.pi, sides, endpoint=False) + phase
+    pts = np.column_stack([np.cos(theta), np.sin(theta)]) * radius
+    return ConvexPolytope.from_points(pts + np.asarray(center, dtype=float))
+
+
+def cross_polytope(dim: int, *, radius: float = 1.0) -> ConvexPolytope:
+    """The L1 ball (cross-polytope) in ``dim`` dimensions."""
+    eye = np.eye(dim) * radius
+    return ConvexPolytope.from_points(np.vstack([eye, -eye]))
+
+
+def box(lower, upper) -> ConvexPolytope:
+    """Axis-aligned box from corner vectors ``lower`` and ``upper``."""
+    lo = np.asarray(lower, dtype=float).reshape(-1)
+    hi = np.asarray(upper, dtype=float).reshape(-1)
+    if lo.size != hi.size:
+        raise DimensionMismatchError("box corners of different dimensions")
+    if np.any(hi < lo):
+        raise ValueError("box corners out of order")
+    dim = lo.size
+    corners = np.array(
+        [
+            [lo[k] if (idx >> k) & 1 == 0 else hi[k] for k in range(dim)]
+            for idx in range(1 << dim)
+        ]
+    )
+    return ConvexPolytope.from_points(corners)

@@ -1,0 +1,86 @@
+"""Deterministic point sampling in and around polytopes.
+
+Experiments and property-based tests need points *inside* a polytope (to
+probe agreement / validity pointwise, per Eq. (14)-(15) of the paper) and
+points *near but outside* (to probe the sharpness of containment claims).
+Everything is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import EmptyPolytopeError
+from .polytope import ConvexPolytope
+
+
+def sample_in_polytope(
+    poly: ConvexPolytope, count: int, *, seed: int = 0
+) -> np.ndarray:
+    """``count`` points inside ``poly`` via Dirichlet vertex mixtures.
+
+    Dirichlet(1,..,1) weights over the vertices give points distributed
+    over the polytope (not uniformly — uniform sampling is unnecessary for
+    our membership probes and much more expensive).
+    """
+    if poly.is_empty:
+        raise EmptyPolytopeError("cannot sample from an empty polytope")
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(poly.num_vertices), size=count)
+    return weights @ poly.vertices
+
+
+def sample_on_vertices(poly: ConvexPolytope) -> np.ndarray:
+    """The vertex set itself (the extreme probe points)."""
+    if poly.is_empty:
+        raise EmptyPolytopeError("empty polytope has no vertices")
+    return poly.vertices.copy()
+
+
+def sample_boundary_mixtures(
+    poly: ConvexPolytope, count: int, *, seed: int = 0
+) -> np.ndarray:
+    """Points on edges (mixtures of two vertices) — boundary-ish probes."""
+    if poly.is_empty:
+        raise EmptyPolytopeError("cannot sample from an empty polytope")
+    rng = np.random.default_rng(seed)
+    m = poly.num_vertices
+    out = np.empty((count, poly.dim))
+    for k in range(count):
+        i, j = rng.integers(0, m, size=2)
+        w = rng.uniform()
+        out[k] = w * poly.vertices[i] + (1 - w) * poly.vertices[j]
+    return out
+
+
+def sample_outside_polytope(
+    poly: ConvexPolytope, count: int, *, distance: float = 0.1, seed: int = 0
+) -> np.ndarray:
+    """Points strictly outside ``poly`` at roughly ``distance`` from it.
+
+    Pushes vertex points outward along the direction away from the
+    centroid; for a degenerate (point) polytope pushes along random
+    directions.  The guarantee is *outside-ness* (verified), not exact
+    distance.
+    """
+    if poly.is_empty:
+        raise EmptyPolytopeError("cannot sample around an empty polytope")
+    rng = np.random.default_rng(seed)
+    center = poly.centroid
+    out: list[np.ndarray] = []
+    attempts = 0
+    while len(out) < count and attempts < 50 * count:
+        attempts += 1
+        vertex = poly.vertices[rng.integers(0, poly.num_vertices)]
+        direction = vertex - center
+        norm = np.linalg.norm(direction)
+        if norm < 1e-12:
+            direction = rng.normal(size=poly.dim)
+            norm = np.linalg.norm(direction)
+        direction = direction / norm
+        candidate = vertex + distance * direction
+        if not poly.contains_point(candidate):
+            out.append(candidate)
+    if len(out) < count:
+        raise RuntimeError("failed to generate enough outside samples")
+    return np.array(out)

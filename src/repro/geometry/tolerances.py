@@ -1,0 +1,71 @@
+"""Central numeric tolerance policy for the geometry layer.
+
+The paper works with exact real arithmetic; we work with float64.  Every
+geometric predicate in this package funnels through the tolerances defined
+here so that the whole library can be tightened or relaxed coherently, and
+so that tests can reason about a single source of truth for "equal enough".
+
+The values are chosen to sit several orders of magnitude below every
+``epsilon`` used by the consensus layer (the smallest epsilon exercised in
+the experiment suite is ``1e-3``), while staying far above float64 noise
+accumulated by the hull / intersection / Minkowski pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Absolute tolerance for coordinate-level comparisons (point equality,
+#: halfspace membership, interval endpoints).
+ABS_TOL: float = 1e-9
+
+#: Tolerance used when testing membership of a point in a polytope.  Slightly
+#: looser than :data:`ABS_TOL` because membership tests compose several
+#: linear-program / projection steps, each contributing rounding error.
+MEMBERSHIP_TOL: float = 1e-7
+
+#: Tolerance below which a Chebyshev radius is considered zero, i.e. the
+#: feasible region is treated as lower-dimensional (degenerate).
+DEGENERACY_TOL: float = 1e-9
+
+#: Relative tolerance for volume comparisons.
+VOLUME_RTOL: float = 1e-6
+
+#: Tolerance for singular values when estimating affine rank.
+RANK_TOL: float = 1e-8
+
+#: Default tolerance used by invariant checkers in the consensus layer when
+#: verifying validity / containment claims produced by this geometry stack.
+INVARIANT_TOL: float = 1e-6
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """A bundled tolerance configuration.
+
+    Library functions accept an optional ``tol`` argument; when omitted they
+    use :data:`DEFAULT_TOLERANCES`.  Carrying the bundle around (rather than
+    scattering literals) lets experiments run the same code at different
+    strictness levels, e.g. when stress-testing degeneracy handling.
+    """
+
+    abs_tol: float = ABS_TOL
+    membership_tol: float = MEMBERSHIP_TOL
+    degeneracy_tol: float = DEGENERACY_TOL
+    volume_rtol: float = VOLUME_RTOL
+    rank_tol: float = RANK_TOL
+
+    def scaled(self, factor: float) -> "Tolerances":
+        """Return a copy with every tolerance multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"tolerance scale factor must be positive, got {factor}")
+        return Tolerances(
+            abs_tol=self.abs_tol * factor,
+            membership_tol=self.membership_tol * factor,
+            degeneracy_tol=self.degeneracy_tol * factor,
+            volume_rtol=self.volume_rtol * factor,
+            rank_tol=self.rank_tol * factor,
+        )
+
+
+DEFAULT_TOLERANCES = Tolerances()

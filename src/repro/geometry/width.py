@@ -1,0 +1,112 @@
+"""Width and support-function metrics for output-size analysis.
+
+Volume alone under-describes a decided polytope: a long thin sliver and a
+round disc can share an area.  These support-function-based metrics round
+out the picture used by the experiments:
+
+* directional width ``w(P, u) = h_P(u) + h_P(-u)``,
+* minimal / maximal width over sampled directions (exact for polygons via
+  edge normals — the minimal width of a convex body is attained at a
+  direction normal to an edge ("rotating calipers" fact)),
+* mean width (proportional to the integral of the support function; in
+  the plane, equal to perimeter / pi by Cauchy's formula).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import DimensionMismatchError, EmptyPolytopeError
+from .hull import hull_vertices_2d
+from .polytope import ConvexPolytope
+
+
+def directional_width(poly: ConvexPolytope, direction) -> float:
+    """``h_P(u) + h_P(-u)`` — the extent of P along ``direction``."""
+    u = np.asarray(direction, dtype=float).reshape(-1)
+    norm = np.linalg.norm(u)
+    if norm <= 0:
+        raise ValueError("direction must be non-zero")
+    u = u / norm
+    return poly.support(u) + poly.support(-u)
+
+
+def _edge_normals_2d(poly: ConvexPolytope) -> np.ndarray:
+    ring = hull_vertices_2d(poly.vertices)
+    m = ring.shape[0]
+    normals = []
+    for i in range(m):
+        edge = ring[(i + 1) % m] - ring[i]
+        norm = np.linalg.norm(edge)
+        if norm <= 1e-15:
+            continue
+        normals.append(np.array([edge[1], -edge[0]]) / norm)
+    return np.array(normals) if normals else np.zeros((0, 2))
+
+
+def min_width(poly: ConvexPolytope, *, num_directions: int = 256, seed: int = 0) -> float:
+    """Minimal width of ``poly`` (exact in the plane, sampled in d >= 3).
+
+    In 2-d the minimum over directions is attained at an edge normal
+    (rotating calipers), so checking edge normals is exact.  A point has
+    width 0; a segment has minimal width 0 (normal to itself).
+    """
+    if poly.is_empty:
+        raise EmptyPolytopeError("width of an empty polytope")
+    if poly.is_point:
+        return 0.0
+    if poly.dim == 1:
+        lo, hi = poly.interval()
+        return hi - lo
+    if poly.dim == 2:
+        if poly.affine_dim < 2:
+            return 0.0
+        normals = _edge_normals_2d(poly)
+        return min(directional_width(poly, u) for u in normals)
+    if poly.affine_dim < poly.dim:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    dirs = rng.normal(size=(num_directions, poly.dim))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    return float(min(directional_width(poly, u) for u in dirs))
+
+
+def max_width(poly: ConvexPolytope) -> float:
+    """Maximal width = the diameter (attained along a vertex pair)."""
+    if poly.is_empty:
+        raise EmptyPolytopeError("width of an empty polytope")
+    return poly.diameter
+
+
+def perimeter_2d(poly: ConvexPolytope) -> float:
+    """Boundary length of a 2-d polytope (0 for points, 2*len for segments)."""
+    if poly.dim != 2:
+        raise DimensionMismatchError("perimeter_2d requires a 2-d polytope")
+    if poly.is_empty:
+        raise EmptyPolytopeError("perimeter of an empty polytope")
+    if poly.is_point:
+        return 0.0
+    ring = hull_vertices_2d(poly.vertices)
+    m = ring.shape[0]
+    if m == 2:
+        return 2.0 * float(np.linalg.norm(ring[1] - ring[0]))
+    return float(
+        sum(
+            np.linalg.norm(ring[(i + 1) % m] - ring[i])
+            for i in range(m)
+        )
+    )
+
+
+def mean_width_2d(poly: ConvexPolytope) -> float:
+    """Cauchy's formula: mean width of a planar convex body = perimeter/pi."""
+    return perimeter_2d(poly) / np.pi
+
+
+def aspect_ratio(poly: ConvexPolytope) -> float:
+    """``max_width / min_width`` — shape elongation (inf for flat bodies)."""
+    narrow = min_width(poly)
+    wide = max_width(poly)
+    if narrow <= 0:
+        return float("inf") if wide > 0 else 1.0
+    return wide / narrow

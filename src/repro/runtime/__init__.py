@@ -1,0 +1,64 @@
+"""Asynchronous distributed runtime: the paper's system model, executable.
+
+Simulates ``n`` fully connected processes with reliable FIFO exactly-once
+channels under full asynchrony (adversarial delivery order) and crash
+faults with incorrect inputs — deterministically, seeded, with complete
+execution traces.
+"""
+
+from .faults import CrashSpec, FaultPlan
+from .lockstep import run_lockstep_consensus, run_lockstep_simulation
+from .messages import (
+    Envelope,
+    InputTuple,
+    RoundMessage,
+    SVInit,
+    SVView,
+    freeze_point,
+    freeze_vertices,
+)
+from .network import Channel, ChannelError, Network
+from .process import Outgoing, ProcessShell, ProtocolCore
+from .scheduler import (
+    BurstyScheduler,
+    FifoFairScheduler,
+    RandomScheduler,
+    Scheduler,
+    TargetedDelayScheduler,
+    default_scheduler,
+)
+from .simulator import SimulationError, SimulationReport, run_simulation
+from .stable_vector import StableVectorEngine
+from .tracing import ExecutionTrace, ProcessTrace
+
+__all__ = [
+    "BurstyScheduler",
+    "Channel",
+    "ChannelError",
+    "CrashSpec",
+    "Envelope",
+    "ExecutionTrace",
+    "FaultPlan",
+    "FifoFairScheduler",
+    "InputTuple",
+    "Network",
+    "Outgoing",
+    "ProcessShell",
+    "ProcessTrace",
+    "ProtocolCore",
+    "RandomScheduler",
+    "RoundMessage",
+    "SVInit",
+    "SVView",
+    "Scheduler",
+    "SimulationError",
+    "SimulationReport",
+    "StableVectorEngine",
+    "TargetedDelayScheduler",
+    "default_scheduler",
+    "run_lockstep_consensus",
+    "run_lockstep_simulation",
+    "freeze_point",
+    "freeze_vertices",
+    "run_simulation",
+]

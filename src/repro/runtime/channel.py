@@ -1,0 +1,65 @@
+"""Reliable FIFO exactly-once channels (one per ordered process pair).
+
+Split out of the network fabric so the channel contract — the paper's
+"communication channels are reliable and FIFO; each message is delivered
+exactly once" — is a unit of its own: sequence numbers are assigned at
+send and re-checked at delivery, so any harness bug that reorders, drops,
+or duplicates surfaces as a :class:`ChannelError` instead of a silent
+model violation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .messages import Envelope, Payload
+
+
+class ChannelError(RuntimeError):
+    """FIFO or exactly-once violation — indicates a harness bug."""
+
+
+@dataclass
+class Channel:
+    """A reliable FIFO channel for one ordered process pair."""
+
+    src: int
+    dst: int
+    _queue: deque[Envelope] = field(default_factory=deque, repr=False)
+    _next_send_seq: int = 0
+    _next_deliver_seq: int = 0
+
+    def enqueue(self, payload: Payload, send_round: int) -> Envelope:
+        env = Envelope(
+            src=self.src,
+            dst=self.dst,
+            seq=self._next_send_seq,
+            send_round=send_round,
+            payload=payload,
+        )
+        self._next_send_seq += 1
+        self._queue.append(env)
+        return env
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def head(self) -> Envelope:
+        return self._queue[0]
+
+    def deliver_head(self) -> Envelope:
+        env = self._queue.popleft()
+        if env.seq != self._next_deliver_seq:
+            raise ChannelError(
+                f"channel {self.src}->{self.dst}: delivered seq {env.seq}, "
+                f"expected {self._next_deliver_seq}"
+            )
+        self._next_deliver_seq += 1
+        return env

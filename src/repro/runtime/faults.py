@@ -1,0 +1,102 @@
+"""Crash-fault injection: the paper's "crash faults with incorrect inputs".
+
+In this fault model (Section 1) each *faulty* process
+
+* holds an **incorrect input** (it executes the algorithm faithfully on a
+  value that is not a correct input), and
+* may **crash** at an arbitrary point - including *mid-broadcast*, having
+  delivered its current message to only a prefix of the recipients.  The
+  mid-broadcast case is the hard one: it is exactly what the stable-vector
+  primitive and the n-f thresholds must tolerate.
+
+A :class:`CrashSpec` pins down when a process dies: in which protocol round
+and after how many individual sends within that round.  A
+:class:`FaultPlan` bundles the faulty set, their crash specs, and which of
+them have incorrect inputs (all of them, in this model; the class still
+tracks the flag so the crash-with-*correct*-inputs variant mentioned in the
+paper's introduction can be expressed by experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Crash trigger for one process.
+
+    ``round_index``: the protocol round in which the crash fires (0 is the
+    stable-vector round).  ``after_sends``: how many individual point-to-
+    point sends the process completes *within that round* before dying;
+    0 means it crashes before sending anything in that round (it is then a
+    member of the paper's ``F[round_index]``).
+    """
+
+    round_index: int
+    after_sends: int = 0
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ValueError("crash round must be >= 0")
+        if self.after_sends < 0:
+            raise ValueError("after_sends must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which processes are faulty, when they crash, whose inputs are wrong.
+
+    ``faulty`` is the paper's set ``F`` (its size must satisfy the bound
+    the experiment assumes - the plan itself does not enforce ``|F| <= f``
+    so that experiments can probe what happens beyond the bound).
+    Processes in ``faulty`` without a :class:`CrashSpec` never crash; the
+    model explicitly allows this ("may crash"), and the optimality proof
+    of Theorem 3 relies on executions where faulty processes survive.
+    """
+
+    faulty: frozenset[int] = frozenset()
+    crashes: dict[int, CrashSpec] = field(default_factory=dict)
+    incorrect_inputs: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        unknown = set(self.crashes) - set(self.faulty)
+        if unknown:
+            raise ValueError(
+                f"crash specs for non-faulty processes: {sorted(unknown)}"
+            )
+        if self.incorrect_inputs is not None:
+            stray = set(self.incorrect_inputs) - set(self.faulty)
+            if stray:
+                raise ValueError(
+                    f"incorrect inputs at non-faulty processes: {sorted(stray)}"
+                )
+
+    @property
+    def incorrect(self) -> frozenset[int]:
+        """Processes whose inputs are incorrect (defaults to all faulty)."""
+        if self.incorrect_inputs is None:
+            return self.faulty
+        return self.incorrect_inputs
+
+    def crash_spec(self, pid: int) -> CrashSpec | None:
+        return self.crashes.get(pid)
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        """The fault-free plan."""
+        return FaultPlan()
+
+    @staticmethod
+    def crash_at(specs: dict[int, tuple[int, int]]) -> "FaultPlan":
+        """Convenience: ``{pid: (round, after_sends)}`` - all faulty."""
+        crashes = {
+            pid: CrashSpec(round_index=r, after_sends=k)
+            for pid, (r, k) in specs.items()
+        }
+        return FaultPlan(faulty=frozenset(specs), crashes=crashes)
+
+    @staticmethod
+    def silent_faulty(pids) -> "FaultPlan":
+        """Faulty (incorrect inputs) but never crashing - Theorem 3's case."""
+        return FaultPlan(faulty=frozenset(pids))

@@ -1,0 +1,156 @@
+"""Lockstep (synchronous) driver — the zero-skew control runtime.
+
+The paper's model is fully asynchronous; its related work ([20]) also
+treats synchronous systems.  This driver runs the *same* protocol cores in
+lockstep: at every step, all currently deliverable messages are delivered
+in a fixed global order before any newly sent message is considered.  It
+is the "most synchronous" schedule expressible in the model (every message
+of a communication step arrives before the next step begins).
+
+Uses: a best-case control for convergence experiments (round skew is
+eliminated, so any residual disagreement is purely informational), a
+determinism cross-check (no randomness at all), and a third runtime to
+demonstrate core/runtime independence alongside the discrete-event and
+asyncio drivers.
+
+Fault plans work unchanged — a crash spec is executed by the shell, and a
+mid-broadcast prefix in lockstep is exactly the paper's "some round-t
+messages sent" case.
+"""
+
+from __future__ import annotations
+
+from .faults import FaultPlan
+from .network import Network
+from .process import ProcessShell, ProtocolCore
+from .simulator import SimulationError, SimulationReport
+
+
+def run_lockstep_simulation(
+    cores: list[ProtocolCore],
+    fault_plan: FaultPlan | None = None,
+    *,
+    max_phases: int | None = None,
+    require_all_fault_free_decide: bool = True,
+) -> SimulationReport:
+    """Drive the cores in synchronous delivery phases.
+
+    Each phase snapshots the set of pending envelopes and delivers all of
+    them (in (src, dst, seq) order) before considering messages sent
+    during the phase.  Mirrors :func:`repro.runtime.simulator.run_simulation`'s
+    contract and report format.
+    """
+    n = len(cores)
+    plan = fault_plan or FaultPlan.none()
+    network = Network(n)
+    shells = [
+        ProcessShell(core, network, crash_spec=plan.crash_spec(core.pid))
+        for core in cores
+    ]
+    if max_phases is None:
+        # Stable vector quiesces in O(n) phases; each protocol round takes
+        # O(1) phases in lockstep.  The constant is a defensive margin.
+        t_end = max(
+            (getattr(core, "config", None).t_end
+             for core in cores
+             if getattr(core, "config", None) is not None),
+            default=10,
+        )
+        max_phases = 10 * (n + t_end) + 100
+
+    for shell in shells:
+        shell.start()
+
+    steps = 0
+    phases = 0
+    while True:
+        alive = {shell.pid for shell in shells if shell.alive}
+        heads = network.pending_heads(alive)
+        if not heads:
+            break
+        phases += 1
+        if phases > max_phases:
+            raise SimulationError(
+                f"lockstep run did not quiesce within {max_phases} phases"
+            )
+        # Deliver the full current wave, draining each involved channel to
+        # the depth it had at the snapshot (FIFO order within channels,
+        # global (src, dst) order across them).
+        wave = {
+            (env.src, env.dst): network.channel_depth(env.src, env.dst)
+            for env in heads
+        }
+        for (src, dst) in sorted(wave):
+            for _ in range(wave[(src, dst)]):
+                if not shells[dst].alive:
+                    break
+                env = network.head_of(src, dst)
+                if env is None:
+                    break
+                network.deliver(env)
+                shells[dst].receive(env.payload, env.src)
+                steps += 1
+
+    decided = [s.pid for s in shells if s.done]
+    crashed = [s.pid for s in shells if s.crashed]
+    undecided_alive = [s.pid for s in shells if s.alive and not s.done]
+    if require_all_fault_free_decide and undecided_alive:
+        raise SimulationError(
+            f"non-crashed processes ended undecided: {undecided_alive}"
+        )
+    for shell in shells:
+        trace = getattr(shell.core, "trace", None)
+        if trace is not None:
+            trace.sends_in_round = dict(shell.protocol_sends)
+            trace.crash_fired_round = shell.crash_fired_round
+    return SimulationReport(
+        delivery_steps=steps,
+        messages_sent=network.messages_sent,
+        messages_delivered=network.messages_delivered,
+        decided=decided,
+        crashed=crashed,
+        undecided_alive=undecided_alive,
+    )
+
+
+def run_lockstep_consensus(
+    inputs,
+    f: int,
+    eps: float,
+    *,
+    fault_plan: FaultPlan | None = None,
+    input_bounds: tuple[float, float] | None = None,
+):
+    """Full Algorithm CC run in lockstep; returns a CCResult."""
+    import numpy as np
+
+    from ..core.algorithm_cc import CCProcess
+    from ..core.runner import CCResult, build_config
+    from .tracing import ExecutionTrace, ProcessTrace
+
+    arr = np.asarray(inputs, dtype=float)
+    config = build_config(arr, f, eps, input_bounds=input_bounds)
+    plan = fault_plan or FaultPlan.none()
+    traces = [
+        ProcessTrace(pid=i, input_point=arr[i].copy()) for i in range(config.n)
+    ]
+    cores = [
+        CCProcess(pid=i, config=config, input_point=arr[i], trace=traces[i])
+        for i in range(config.n)
+    ]
+    report = run_lockstep_simulation(cores, fault_plan=plan)
+    trace = ExecutionTrace(
+        n=config.n,
+        f=config.f,
+        dim=config.dim,
+        eps=config.eps,
+        t_end=config.t_end,
+        fault_plan=plan,
+        seed=0,
+        scheduler_name="lockstep",
+        processes=traces,
+        messages_sent=report.messages_sent,
+        messages_delivered=report.messages_delivered,
+        delivery_steps=report.delivery_steps,
+    )
+    return CCResult(config=config, trace=trace, report=report)

@@ -1,0 +1,72 @@
+"""Complete-graph network fabric with reliable FIFO exactly-once channels.
+
+System model (paper Section 1): ``n`` processes, every pair connected,
+channels reliable and FIFO, each message delivered exactly once.  The
+:class:`Network` enforces all three properties structurally:
+
+* *reliable* — an enqueued envelope is never dropped (crashed senders stop
+  enqueueing, but what was sent before the crash stays deliverable);
+* *FIFO* — schedulers only ever see per-channel heads;
+* *exactly-once* — per-channel sequence numbers are checked on delivery.
+"""
+
+from __future__ import annotations
+
+from .channel import Channel, ChannelError
+from .messages import Envelope, Payload
+
+
+class Network:
+    """All n*(n-1) directed channels plus delivery statistics."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("network needs at least one process")
+        self.n = n
+        self._channels: dict[tuple[int, int], Channel] = {
+            (src, dst): Channel(src, dst)
+            for src in range(n)
+            for dst in range(n)
+            if src != dst
+        }
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    def send(self, src: int, dst: int, payload: Payload, send_round: int) -> None:
+        if src == dst:
+            raise ChannelError("self-messages are handled locally, not via network")
+        self._channels[(src, dst)].enqueue(payload, send_round)
+        self.messages_sent += 1
+
+    def pending_heads(self, alive_destinations: set[int]) -> list[Envelope]:
+        """Channel heads whose destination can still process messages.
+
+        Messages to crashed/terminated processes stay queued but are not
+        offered to the scheduler — delivering them would be a no-op, and
+        excluding them keeps termination detection simple.
+        """
+        return [
+            ch.head
+            for ch in self._channels.values()
+            if ch.has_pending and ch.dst in alive_destinations
+        ]
+
+    def deliver(self, env: Envelope) -> Envelope:
+        delivered = self._channels[(env.src, env.dst)].deliver_head()
+        if delivered is not env:
+            raise ChannelError("scheduler chose a non-head envelope")
+        self.messages_delivered += 1
+        return delivered
+
+    def channel_depth(self, src: int, dst: int) -> int:
+        """Number of queued messages on the ``src -> dst`` channel."""
+        return self._channels[(src, dst)].depth
+
+    def head_of(self, src: int, dst: int) -> Envelope | None:
+        """The head envelope of one channel, or None when empty."""
+        channel = self._channels[(src, dst)]
+        return channel.head if channel.has_pending else None
+
+    @property
+    def undelivered(self) -> int:
+        return self.messages_sent - self.messages_delivered

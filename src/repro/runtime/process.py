@@ -1,0 +1,138 @@
+"""Process shells: crash interception and message accounting.
+
+A *core* (protocol state machine — Algorithm CC, a baseline, or a raw
+stable-vector harness) is pure logic: it consumes payloads and emits
+outgoing payloads.  The :class:`ProcessShell` wraps a core with everything
+the fault model needs:
+
+* stamping outgoing messages with the core's current round (the paper's
+  ``F[t]`` bookkeeping is in terms of "sent a round-t message"),
+* executing the process's :class:`~repro.runtime.faults.CrashSpec` — in
+  particular *mid-broadcast* crashes, where only a prefix of the fan-out
+  is actually enqueued,
+* keeping the core responsive after it has decided (stable-vector echoes
+  must continue or slower processes would starve), and dropping all
+  activity after a crash.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+
+from .faults import CrashSpec
+from .messages import Payload
+from .network import Network
+
+#: An outgoing message: (destination pid, payload).  ``None`` destination
+#: means broadcast to every other process, in ascending pid order (the
+#: deterministic order that makes mid-broadcast crash prefixes well
+#: defined and executions reproducible).
+Outgoing = tuple[int | None, Payload]
+
+
+class ProtocolCore(ABC):
+    """Pure per-process protocol logic (no I/O, no fault handling)."""
+
+    pid: int
+
+    @abstractmethod
+    def on_start(self) -> list[Outgoing]:
+        """Called once at process start; returns initial messages."""
+
+    @abstractmethod
+    def on_message(self, payload: Payload, src: int) -> list[Outgoing]:
+        """Handle one delivered payload; returns messages to send."""
+
+    @property
+    @abstractmethod
+    def current_round(self) -> int:
+        """The asynchronous round this process is currently executing."""
+
+    @property
+    @abstractmethod
+    def done(self) -> bool:
+        """True when the core has decided (it may still answer messages)."""
+
+    @property
+    def output(self):
+        """The decision value; meaningful only when :attr:`done`."""
+        return None
+
+
+class ProcessShell:
+    """Fault- and accounting-wrapper around a :class:`ProtocolCore`."""
+
+    def __init__(
+        self,
+        core: ProtocolCore,
+        network: Network,
+        crash_spec: CrashSpec | None = None,
+    ):
+        self.core = core
+        self.network = network
+        self.crash_spec = crash_spec
+        self.crashed = False
+        self.crash_fired_round: int | None = None
+        # Execution-position send counts (used by crash triggers: "crash in
+        # round r after k sends" refers to where the process *is*).
+        self.sends_in_round: Counter[int] = Counter()
+        # Protocol-semantic send counts (used for the paper's F[t]: a
+        # RoundMessage counts for its own round tag, stable-vector traffic
+        # is round-0 regardless of when the echo happens).
+        self.protocol_sends: Counter[int] = Counter()
+
+    @property
+    def pid(self) -> int:
+        return self.core.pid
+
+    @property
+    def done(self) -> bool:
+        return self.core.done
+
+    @property
+    def alive(self) -> bool:
+        return not self.crashed
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.crashed:
+            return
+        self._dispatch(self.core.on_start())
+
+    def receive(self, payload: Payload, src: int) -> None:
+        if self.crashed:
+            return
+        self._dispatch(self.core.on_message(payload, src))
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, outgoing: list[Outgoing]) -> None:
+        for dst, payload in outgoing:
+            if dst is None:
+                destinations = [
+                    d for d in range(self.network.n) if d != self.pid
+                ]
+            else:
+                destinations = [dst]
+            semantic_round = getattr(payload, "round_index", 0)
+            for destination in destinations:
+                if self.crashed:
+                    return
+                send_round = self.core.current_round
+                if self._crash_due(send_round):
+                    self.crashed = True
+                    self.crash_fired_round = send_round
+                    return
+                self.network.send(self.pid, destination, payload, send_round)
+                self.sends_in_round[send_round] += 1
+                self.protocol_sends[semantic_round] += 1
+
+    def _crash_due(self, send_round: int) -> bool:
+        spec = self.crash_spec
+        if spec is None:
+            return False
+        if send_round > spec.round_index:
+            return True
+        if send_round == spec.round_index:
+            return self.sends_in_round[send_round] >= spec.after_sends
+        return False

@@ -1,0 +1,143 @@
+"""Adversarial delivery schedulers — the asynchrony in "asynchronous".
+
+The system model places no bound on message delay; correctness proofs must
+hold for *every* delivery schedule.  Experimentally we explore that space
+with pluggable scheduler strategies.  A scheduler repeatedly picks which
+pending channel head to deliver next; per-channel FIFO order is enforced by
+the network (a scheduler only ever sees channel *heads*), matching the
+reliable-FIFO-channel assumption.
+
+Strategies:
+
+* :class:`RandomScheduler` — uniformly random head; the baseline adversary.
+* :class:`FifoFairScheduler` — round-robin over channels; the most
+  synchronous-looking schedule (useful as a control).
+* :class:`TargetedDelayScheduler` — starves messages *from* a chosen set of
+  processes for as long as anything else is deliverable.  This is the
+  adversary of the paper's Theorem 3 proof ("processes in V - X_Z are so
+  slow that the other processes must terminate before receiving any
+  messages from them").
+* :class:`BurstyScheduler` — delivers in randomly sized bursts per source,
+  creating heavy round skew between processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .messages import Envelope
+
+
+class Scheduler:
+    """Strategy interface: pick one of the deliverable channel heads."""
+
+    def choose(self, heads: list[Envelope]) -> int:
+        """Return the index (into ``heads``) of the envelope to deliver."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset internal state so a scheduler instance can be reused."""
+
+
+@dataclass
+class RandomScheduler(Scheduler):
+    """Deliver a uniformly random channel head (seeded)."""
+
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def choose(self, heads: list[Envelope]) -> int:
+        return int(self._rng.integers(0, len(heads)))
+
+
+@dataclass
+class FifoFairScheduler(Scheduler):
+    """Round-robin over (src, dst) channels — near-synchronous control."""
+
+    _cursor: int = field(default=0, init=False, repr=False)
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(self, heads: list[Envelope]) -> int:
+        ordered = sorted(range(len(heads)), key=lambda k: (heads[k].src, heads[k].dst))
+        pick = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return pick
+
+
+@dataclass
+class TargetedDelayScheduler(Scheduler):
+    """Starve messages sent by ``slow`` processes.
+
+    While any head from a non-slow source is pending, deliver among those
+    (randomly, seeded); messages from slow sources move only when nothing
+    else can.  With ``slow`` chosen as up to f processes this realises the
+    "indistinguishable from crashed" executions at the heart of both the
+    lower-bound discussion and the Theorem 3 optimality argument.
+    """
+
+    slow: frozenset[int] = frozenset()
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.slow = frozenset(self.slow)
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def choose(self, heads: list[Envelope]) -> int:
+        fast = [k for k, env in enumerate(heads) if env.src not in self.slow]
+        pool = fast if fast else list(range(len(heads)))
+        return pool[int(self._rng.integers(0, len(pool)))]
+
+
+@dataclass
+class BurstyScheduler(Scheduler):
+    """Deliver bursts from one source at a time (heavy round skew).
+
+    Picks a source, drains a random number of its pending heads before
+    switching — processes race ahead of each other by whole rounds, which
+    stresses the per-round message buffering of Algorithm CC.
+    """
+
+    seed: int = 0
+    max_burst: int = 8
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _current_src: int | None = field(default=None, init=False, repr=False)
+    _remaining: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._current_src = None
+        self._remaining = 0
+
+    def choose(self, heads: list[Envelope]) -> int:
+        if self._remaining > 0 and self._current_src is not None:
+            candidates = [k for k, env in enumerate(heads) if env.src == self._current_src]
+            if candidates:
+                self._remaining -= 1
+                return candidates[int(self._rng.integers(0, len(candidates)))]
+        sources = sorted({env.src for env in heads})
+        self._current_src = sources[int(self._rng.integers(0, len(sources)))]
+        self._remaining = int(self._rng.integers(1, self.max_burst + 1)) - 1
+        candidates = [k for k, env in enumerate(heads) if env.src == self._current_src]
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+
+def default_scheduler(seed: int = 0) -> Scheduler:
+    """The scheduler used when an experiment does not specify one."""
+    return RandomScheduler(seed=seed)

@@ -1,0 +1,104 @@
+"""The *stable vector* communication primitive (Attiya et al. [2]).
+
+Round 0 of Algorithm CC uses stable vector to collect input tuples with two
+properties the optimality proof depends on (paper Section 3):
+
+* **Liveness** — at every process that does not crash before the end of
+  round 0, the primitive returns a set ``R_i`` of at least ``n - f``
+  distinct round-0 tuples;
+* **Containment** — for any two processes the returned sets are ordered by
+  inclusion: ``R_i subseteq R_j`` or ``R_j subseteq R_i``.
+
+Implementation: *echo-and-merge with identical-view confirmation*.  Every
+process maintains a monotonically growing view (set of tuples).  Whenever
+the view grows the process broadcasts it.  The view becomes the result as
+soon as (a) it has at least ``n - f`` entries and (b) at least ``n - f``
+processes' most recently received views (counting one's own) equal it.
+
+Why containment holds (``n >= 2f + 1``): two confirmation quorums of size
+``n - f`` intersect in a process ``k``; both confirmed views were views
+``k`` actually held at some time, and any single process's views grow
+monotonically, so the two views are inclusion-comparable.
+
+Why liveness holds: views are bounded (at most ``n`` tuples) and only grow,
+so they stabilise; every tuple merged by a live process is re-broadcast, so
+all processes that keep running converge to a common final view that the
+``>= n - f`` live processes all confirm.  Crashed processes may have
+delivered partial broadcasts — monotone merging makes that harmless.
+
+The engine keeps running after returning: its echoes are what allow slower
+processes to finish their own round 0.
+"""
+
+from __future__ import annotations
+
+from .messages import InputTuple, Payload, SVInit, SVView
+
+
+class StableVectorEngine:
+    """Per-process stable-vector state machine (pure logic, no I/O).
+
+    The shell drives it via :meth:`start` / :meth:`on_init` /
+    :meth:`on_view`; each call returns payloads to broadcast.  ``result``
+    transitions from ``None`` to a frozen tuple set exactly once.
+    """
+
+    def __init__(self, pid: int, n: int, f: int, entry: InputTuple):
+        if n < 2 * f + 1:
+            raise ValueError(
+                f"stable vector requires n >= 2f+1; got n={n}, f={f}"
+            )
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self._view: set[InputTuple] = {entry}
+        self._latest_view: dict[int, frozenset[InputTuple]] = {}
+        self.result: frozenset[InputTuple] | None = None
+        self.broadcasts_sent = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> list[Payload]:
+        """Initial announcements: the input tuple and the first view."""
+        snapshot = frozenset(self._view)
+        self._latest_view[self.pid] = snapshot
+        self._check_stable()
+        self.broadcasts_sent += 2
+        entry = next(iter(self._view))
+        return [SVInit(entry), SVView(snapshot)]
+
+    def on_init(self, msg: SVInit, src: int) -> list[Payload]:
+        return self._merge({msg.entry})
+
+    def on_view(self, msg: SVView, src: int) -> list[Payload]:
+        self._latest_view[src] = msg.entries
+        out = self._merge(set(msg.entries))
+        self._check_stable()
+        return out
+
+    # ------------------------------------------------------------------
+    def _merge(self, entries: set[InputTuple]) -> list[Payload]:
+        if entries <= self._view:
+            self._check_stable()
+            return []
+        self._view |= entries
+        snapshot = frozenset(self._view)
+        self._latest_view[self.pid] = snapshot
+        self._check_stable()
+        self.broadcasts_sent += 1
+        return [SVView(snapshot)]
+
+    def _check_stable(self) -> None:
+        if self.result is not None:
+            return
+        if len(self._view) < self.n - self.f:
+            return
+        current = frozenset(self._view)
+        confirmations = sum(
+            1 for view in self._latest_view.values() if view == current
+        )
+        if confirmations >= self.n - self.f:
+            self.result = current
+
+    @property
+    def view_size(self) -> int:
+        return len(self._view)

@@ -1,0 +1,43 @@
+"""Workload generators and named scenario bundles."""
+
+from .inputs import (
+    binary_line,
+    collinear,
+    gaussian_cluster,
+    identical,
+    majority_identical,
+    simplex_corners,
+    two_clusters,
+    uniform_box,
+    with_outliers,
+)
+from .scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    benign,
+    collinear_world,
+    crash_storm,
+    degenerate_bound,
+    outlier_attack,
+    view_split,
+)
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "Scenario",
+    "benign",
+    "binary_line",
+    "collinear",
+    "collinear_world",
+    "crash_storm",
+    "degenerate_bound",
+    "gaussian_cluster",
+    "identical",
+    "majority_identical",
+    "outlier_attack",
+    "simplex_corners",
+    "two_clusters",
+    "uniform_box",
+    "view_split",
+    "with_outliers",
+]

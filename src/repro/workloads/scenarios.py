@@ -1,0 +1,179 @@
+"""Named end-to-end scenarios: inputs + fault plan + scheduler, bundled.
+
+Experiments, tests, and examples share these so that "the adversarial
+crash scenario" means the same execution everywhere.  Each scenario is a
+factory (seeded) returning a :class:`Scenario`; running it is one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.runner import CCResult, run_convex_hull_consensus
+from ..runtime.faults import FaultPlan
+from ..runtime.scheduler import (
+    BurstyScheduler,
+    RandomScheduler,
+    Scheduler,
+    TargetedDelayScheduler,
+)
+from . import inputs as gen
+
+
+@dataclass
+class Scenario:
+    """A fully specified execution setup."""
+
+    name: str
+    inputs: np.ndarray
+    f: int
+    eps: float
+    fault_plan: FaultPlan = field(default_factory=FaultPlan.none)
+    scheduler: Scheduler | None = None
+    input_bounds: tuple[float, float] | None = None
+
+    @property
+    def n(self) -> int:
+        return self.inputs.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.inputs.shape[1]
+
+    def run(self, *, seed: int = 0) -> CCResult:
+        # Re-seed a seeded scheduler so sweeps over `seed` genuinely vary
+        # the delivery order (the runner calls scheduler.reset()).
+        if self.scheduler is not None and hasattr(self.scheduler, "seed"):
+            self.scheduler.seed = seed
+        return run_convex_hull_consensus(
+            self.inputs,
+            self.f,
+            self.eps,
+            fault_plan=self.fault_plan,
+            scheduler=self.scheduler,
+            seed=seed,
+            input_bounds=self.input_bounds,
+        )
+
+
+def benign(n: int = 8, d: int = 2, eps: float = 0.05, seed: int = 0) -> Scenario:
+    """Fault-free execution on clustered inputs, random delivery."""
+    return Scenario(
+        name="benign",
+        inputs=gen.gaussian_cluster(n, d, seed=seed),
+        f=1,
+        eps=eps,
+        scheduler=RandomScheduler(seed=seed),
+    )
+
+
+def outlier_attack(
+    n: int = 8, d: int = 2, f: int = 1, eps: float = 0.05, seed: int = 0
+) -> Scenario:
+    """f faulty processes hold far-away incorrect inputs and never crash.
+
+    The Theorem 3 adversary: faulty-but-alive processes are
+    indistinguishable from slow correct ones; their messages are starved.
+    """
+    faulty = list(range(n - f, n))
+    raw = gen.gaussian_cluster(n, d, seed=seed)
+    inputs = gen.with_outliers(raw, faulty, magnitude=5.0, seed=seed)
+    return Scenario(
+        name="outlier-attack",
+        inputs=inputs,
+        f=f,
+        eps=eps,
+        fault_plan=FaultPlan.silent_faulty(faulty),
+        scheduler=TargetedDelayScheduler(slow=frozenset(faulty), seed=seed),
+        input_bounds=(-6.0, 6.0),
+    )
+
+
+def crash_storm(
+    n: int = 9, d: int = 2, f: int = 2, eps: float = 0.1, seed: int = 0
+) -> Scenario:
+    """f processes crash mid-broadcast in different rounds.
+
+    One dies during its stable-vector fan-out (round 0), the next during
+    a later averaging round — the mixed case the F[t] bookkeeping and
+    Rule 2 of the matrix construction must handle.
+    """
+    faulty = list(range(n - f, n))
+    specs = {}
+    for idx, pid in enumerate(faulty):
+        round_index = idx  # rounds 0, 1, 2, ...
+        specs[pid] = (round_index, (idx * 2 + 1) % max(n - 1, 1))
+    inputs = gen.uniform_box(n, d, seed=seed)
+    return Scenario(
+        name="crash-storm",
+        inputs=inputs,
+        f=f,
+        eps=eps,
+        fault_plan=FaultPlan.crash_at(specs),
+        scheduler=BurstyScheduler(seed=seed),
+    )
+
+
+def degenerate_bound(d: int = 2, f: int = 1, eps: float = 0.05) -> Scenario:
+    """Exactly ``n = (d+2)f + 1`` processes on simplex corners (Section 6).
+
+    The configuration where the decided polytope can collapse to a point.
+    """
+    n = (d + 2) * f + 1
+    return Scenario(
+        name="degenerate-bound",
+        inputs=gen.simplex_corners(n, d),
+        f=f,
+        eps=eps,
+        scheduler=RandomScheduler(seed=0),
+    )
+
+
+def collinear_world(
+    n: int = 8, d: int = 3, f: int = 1, eps: float = 0.05, seed: int = 0
+) -> Scenario:
+    """All inputs on a line inside d >= 2 — degenerate geometry throughout."""
+    return Scenario(
+        name="collinear",
+        inputs=gen.collinear(n, d, seed=seed),
+        f=f,
+        eps=eps,
+        scheduler=RandomScheduler(seed=seed),
+    )
+
+
+def view_split(
+    d: int = 1, f: int = 1, eps: float = 0.05, seed: int = 0
+) -> Scenario:
+    """Nested stable-vector views via a mid-round-0 crash plus starvation.
+
+    Process ``n-1`` (faulty) delivers its input tuple to process 0 only
+    and dies; the adversary starves both, so the other processes decide
+    round 0 before learning the extra tuple.  Fault-free views end up
+    strictly nested (Containment in action) and round-0 polytopes differ.
+    """
+    n = (d + 2) * f + 2  # one above the bound so views of both sizes work
+    rng = np.random.default_rng(seed)
+    inputs = rng.uniform(-1.0, 1.0, size=(n, d))
+    inputs[n - 1] = -1.0  # the extra extreme entry only the witness sees
+    plan = FaultPlan.crash_at({n - 1: (0, 1)})
+    return Scenario(
+        name="view-split",
+        inputs=inputs,
+        f=f,
+        eps=eps,
+        fault_plan=plan,
+        scheduler=TargetedDelayScheduler(slow=frozenset({0, n - 1}), seed=seed),
+    )
+
+
+ALL_SCENARIOS = {
+    "benign": benign,
+    "outlier-attack": outlier_attack,
+    "crash-storm": crash_storm,
+    "degenerate-bound": degenerate_bound,
+    "collinear": collinear_world,
+    "view-split": view_split,
+}

@@ -1,0 +1,82 @@
+"""Tests for the ASCII polytope renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import AsciiCanvas, plot_execution
+from repro.geometry.polytope import ConvexPolytope
+
+
+class TestCanvas:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(width=2, height=2)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(lower=np.array([1.0, 0.0]), upper=np.array([0.0, 1.0]))
+
+    def test_point_markers(self):
+        canvas = AsciiCanvas(width=20, height=10)
+        canvas.plot_points([[0.0, 0.0], [0.9, 0.9]], marker="o")
+        out = canvas.render()
+        assert out.count("o") == 2
+
+    def test_out_of_window_points_skipped(self):
+        canvas = AsciiCanvas(width=20, height=10)
+        canvas.plot_points([[5.0, 5.0]])
+        assert "o" not in canvas.render()
+
+    def test_polytope_fill_and_edge(self):
+        canvas = AsciiCanvas(
+            width=30, height=15, lower=np.array([-2.0, -2.0]), upper=np.array([2.0, 2.0])
+        )
+        square = ConvexPolytope.from_points([[-1, -1], [1, -1], [1, 1], [-1, 1]])
+        canvas.plot_polytope(square)
+        out = canvas.render()
+        assert "#" in out  # boundary drawn
+        assert "." in out  # interior filled
+
+    def test_empty_polytope_noop(self):
+        canvas = AsciiCanvas(width=20, height=10)
+        canvas.plot_polytope(ConvexPolytope.empty(2))
+        body = canvas.render().splitlines()[1:-2]
+        assert all(set(line) <= {"|", " "} for line in body)
+
+    def test_1d_polytope_rejected(self):
+        canvas = AsciiCanvas(width=20, height=10)
+        with pytest.raises(ValueError):
+            canvas.plot_polytope(ConvexPolytope.from_interval(0, 1))
+
+    def test_title_rendered(self):
+        canvas = AsciiCanvas(width=20, height=10)
+        assert canvas.render(title="hello").startswith("hello")
+
+
+class TestPlotExecution:
+    def test_full_picture(self, benign_2d_run):
+        result = benign_2d_run
+        poly = next(iter(result.fault_free_outputs.values()))
+        picture = plot_execution(
+            result.trace.all_inputs,
+            poly,
+            faulty=result.trace.faulty,
+            title="run",
+        )
+        assert "o" in picture
+        assert "#" in picture or "." in picture
+
+    def test_faulty_marked_differently(self, starved_2d_run):
+        result = starved_2d_run
+        poly = next(iter(result.fault_free_outputs.values()))
+        picture = plot_execution(
+            result.trace.all_inputs, poly, faulty=result.trace.faulty
+        )
+        assert "x" in picture  # the faulty outlier
+        assert "o" in picture
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            plot_execution(
+                np.zeros((3, 1)), ConvexPolytope.from_interval(0, 1)
+            )

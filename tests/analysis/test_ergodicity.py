@@ -1,0 +1,94 @@
+"""Tests for the coefficients-of-ergodicity toolbox (Lemma 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ergodicity import (
+    delta,
+    is_scrambling,
+    lambda_coefficient,
+    lemma3_chain_bound,
+    paper_uniform_bound,
+    pairwise_common_mass,
+    verify_submultiplicativity,
+)
+from repro.core.matrix import reconstruct_transition_matrices
+
+
+class TestCoefficients:
+    def test_delta_of_rank_one(self):
+        a = np.tile([0.2, 0.3, 0.5], (3, 1))
+        assert delta(a) == 0.0
+
+    def test_delta_of_identity(self):
+        assert delta(np.eye(3)) == 1.0
+
+    def test_lambda_of_rank_one_is_zero(self):
+        a = np.tile([0.25, 0.75], (2, 1))
+        assert lambda_coefficient(a) == pytest.approx(0.0)
+
+    def test_lambda_of_identity_is_one(self):
+        assert lambda_coefficient(np.eye(4)) == pytest.approx(1.0)
+
+    def test_common_mass_example(self):
+        a = np.array([[0.5, 0.5, 0.0], [0.0, 0.5, 0.5]])
+        # min over the single pair: shared mass at column 2 = 0.5.
+        assert pairwise_common_mass(a) == pytest.approx(0.5)
+
+    def test_scrambling_detection(self):
+        scrambling = np.array([[0.5, 0.5, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5]])
+        assert is_scrambling(scrambling)
+        assert not is_scrambling(np.eye(3))
+
+    def test_delta_bounded_by_lambda(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a = rng.dirichlet(np.ones(4), size=4)
+            assert delta(a) <= lambda_coefficient(a) + 1e-12
+
+
+class TestChainBounds:
+    def _random_quorum_matrices(self, n=6, rounds=8, seed=1):
+        """Matrices shaped like Algorithm CC's M[t] (quorum averaging)."""
+        rng = np.random.default_rng(seed)
+        out = []
+        for _ in range(rounds):
+            m = np.zeros((n, n))
+            for i in range(n):
+                quorum = rng.choice(n, size=n - 1, replace=False)
+                quorum = set(quorum.tolist()) | {i}
+                for k in quorum:
+                    m[i, k] = 1.0 / len(quorum)
+            out.append(m)
+        return out
+
+    def test_submultiplicativity_on_synthetic_chains(self):
+        matrices = self._random_quorum_matrices()
+        assert verify_submultiplicativity(matrices)
+
+    def test_chain_bound_monotone(self):
+        matrices = self._random_quorum_matrices(seed=2)
+        chain = lemma3_chain_bound(matrices)
+        assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(chain, chain[1:]))
+
+    def test_chain_sharper_than_uniform_on_real_runs(self, crashy_2d_run):
+        matrices = reconstruct_transition_matrices(crashy_2d_run.trace)
+        chain = lemma3_chain_bound(matrices)
+        uniform = paper_uniform_bound(matrices, crashy_2d_run.trace.n)
+        # Quorums of n-f > n/2 share much more than 1/n of mass: the
+        # per-round chain must beat the paper's uniform envelope.
+        assert all(c <= u + 1e-12 for c, u in zip(chain, uniform))
+        assert chain[-1] < uniform[-1]
+
+    def test_real_matrices_are_scrambling(self, all_session_runs):
+        """The Lemma 3 proof-sketch observation, verified on executions:
+        every reconstructed M[t] is scrambling (any two quorums of n-f
+        intersect)."""
+        for result in all_session_runs:
+            for m in reconstruct_transition_matrices(result.trace):
+                assert is_scrambling(m)
+
+    def test_submultiplicativity_on_real_runs(self, all_session_runs):
+        for result in all_session_runs:
+            matrices = reconstruct_transition_matrices(result.trace)
+            assert verify_submultiplicativity(matrices)

@@ -1,0 +1,50 @@
+"""Tests for quorum-composition statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.quorum_stats import explain_contraction, quorum_report
+
+
+class TestQuorumReport:
+    def test_sizes_at_least_quorum(self, benign_2d_run):
+        report = quorum_report(benign_2d_run.trace)
+        quorum = benign_2d_run.config.quorum
+        for round_stats in report.rounds:
+            assert all(size >= quorum for size in round_stats.sizes.values())
+
+    def test_overlap_bounds(self, crashy_2d_run):
+        trace = crashy_2d_run.trace
+        report = quorum_report(trace)
+        # Two quorums of size >= n-f overlap in >= n-2f members.
+        floor = trace.n - 2 * trace.f
+        for round_stats in report.rounds:
+            assert round_stats.min_pairwise_overlap >= floor
+            assert round_stats.mean_pairwise_overlap >= round_stats.min_pairwise_overlap
+
+    def test_lambda_below_paper_rate(self, benign_2d_run):
+        """The quorum-implied contraction beats the uniform 1 - 1/n."""
+        stats = explain_contraction(benign_2d_run.trace)
+        assert stats["worst_lambda"] <= stats["paper_rate"] + 1e-12
+
+    def test_inclusion_frequency_shape(self, benign_2d_run):
+        trace = benign_2d_run.trace
+        report = quorum_report(trace)
+        assert report.inclusion_frequency.shape == (trace.n, trace.n)
+        # Every live process includes itself in every quorum (line 8).
+        for proc in trace.processes:
+            if proc.round_senders:
+                assert report.inclusion_frequency[proc.pid, proc.pid] == pytest.approx(1.0)
+
+    def test_crashed_process_inclusion_drops(self, crashy_2d_run):
+        trace = crashy_2d_run.trace
+        report = quorum_report(trace)
+        crashed = next(
+            p.pid for p in trace.processes if p.crash_fired_round is not None
+        )
+        live = [p.pid for p in trace.processes if p.crash_fired_round is None]
+        # The crashed process appears in strictly fewer quorums than a
+        # live process does on average.
+        crashed_col = report.inclusion_frequency[live, crashed].mean()
+        live_col = report.inclusion_frequency[np.ix_(live, live)].mean()
+        assert crashed_col < live_col

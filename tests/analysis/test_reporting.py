@@ -1,0 +1,77 @@
+"""Tests for table / series rendering."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_value,
+    render_series,
+    render_table,
+    spark,
+)
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None).strip() == "-"
+
+    def test_bool(self):
+        assert format_value(True).strip() == "yes"
+        assert format_value(False).strip() == "no"
+
+    def test_int(self):
+        assert format_value(42).strip() == "42"
+
+    def test_float_midrange(self):
+        assert format_value(3.14159).strip() == "3.14159"
+
+    def test_float_tiny_scientific(self):
+        assert "e" in format_value(1.5e-9)
+
+    def test_zero(self):
+        assert format_value(0.0).strip() == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("abc").strip() == "abc"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        out = render_table(
+            "T1", ["a", "b"], [[1, 2.5], [3, None]]
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T1"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert len(lines) == 6  # title, rule, header, rule, 2 rows
+
+    def test_column_alignment(self):
+        out = render_table("T", ["col"], [[1], [22], [333]], width=8)
+        rows = out.splitlines()[4:]
+        assert all(len(r) == 8 for r in rows)
+
+
+class TestSpark:
+    def test_monotone(self):
+        chars = [spark(v, 1e-6, 1.0) for v in (1e-6, 1e-3, 1.0)]
+        assert chars[0] <= chars[1] <= chars[2]
+
+    def test_zero_is_blank(self):
+        assert spark(0.0, 1e-6, 1.0) == " "
+
+    def test_degenerate_range(self):
+        assert spark(1.0, 1.0, 1.0) == " "
+
+
+class TestRenderSeries:
+    def test_structure(self):
+        out = render_series(
+            "Fig", "t", [0, 1, 2],
+            {"measured": [1.0, 0.5, 0.1], "bound": [2.0, 1.5, 1.0]},
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig"
+        assert len(lines) == 4 + 3  # header block + 3 data rows
+
+    def test_handles_short_series(self):
+        out = render_series("F", "t", [0, 1], {"a": [1.0]})
+        assert "-" in out.splitlines()[-1]  # missing value rendered as '-'

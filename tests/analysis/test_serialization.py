@@ -1,0 +1,61 @@
+"""Tests for JSON trace serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.serialization import (
+    dump_trace,
+    load_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.core.invariants import check_all
+from repro.core.matrix import verify_state_evolution
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_metadata(self, crashy_2d_run):
+        trace = crashy_2d_run.trace
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.n == trace.n
+        assert rebuilt.f == trace.f
+        assert rebuilt.eps == trace.eps
+        assert rebuilt.t_end == trace.t_end
+        assert rebuilt.fault_plan.faulty == trace.fault_plan.faulty
+        assert rebuilt.messages_sent == trace.messages_sent
+
+    def test_roundtrip_preserves_states(self, crashy_2d_run):
+        trace = crashy_2d_run.trace
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        for orig, new in zip(trace.processes, rebuilt.processes):
+            assert orig.pid == new.pid
+            np.testing.assert_allclose(orig.input_point, new.input_point)
+            assert set(orig.states) == set(new.states)
+            for t in orig.states:
+                assert orig.states[t].approx_equal(new.states[t], tol=1e-9)
+            assert orig.round_senders == new.round_senders
+            assert orig.crash_fired_round == new.crash_fired_round
+
+    def test_roundtrip_preserves_views(self, round0_crash_run):
+        trace = round0_crash_run.trace
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        for orig, new in zip(trace.processes, rebuilt.processes):
+            assert orig.r_view == new.r_view
+
+    def test_invariants_hold_on_rebuilt_trace(self, benign_2d_run):
+        rebuilt = trace_from_dict(trace_to_dict(benign_2d_run.trace))
+        assert check_all(rebuilt).ok
+        assert verify_state_evolution(rebuilt).ok
+
+    def test_file_roundtrip(self, benign_1d_run, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_trace(benign_1d_run.trace, path)
+        rebuilt = load_trace(path)
+        assert rebuilt.n == benign_1d_run.trace.n
+        assert check_all(rebuilt).ok
+
+    def test_version_check(self, benign_1d_run):
+        obj = trace_to_dict(benign_1d_run.trace)
+        obj["format"] = 999
+        with pytest.raises(ValueError):
+            trace_from_dict(obj)

@@ -1,0 +1,60 @@
+"""Tests for the seed-sweep driver."""
+
+import pytest
+
+from repro.analysis.sweeps import SweepSummary, sweep_scenario
+from repro.workloads.scenarios import benign, view_split
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        scenario = view_split()
+        return sweep_scenario(lambda seed: scenario.run(seed=seed), range(4))
+
+    def test_runs_all_seeds(self, summary):
+        assert summary.num_runs == 4
+        assert [r.seed for r in summary.rows] == [0, 1, 2, 3]
+
+    def test_all_properties_hold(self, summary):
+        assert summary.all_ok
+        assert summary.failures == []
+
+    def test_aggregates(self, summary):
+        assert summary.worst_round0_disagreement >= 0
+        assert summary.worst_final_disagreement < view_split().eps
+        assert summary.mean_messages > 0
+
+    def test_table_rows_shape(self, summary):
+        rows = summary.table_rows()
+        assert len(rows) == 5  # 4 seeds + aggregate
+        assert len(rows[0]) == len(SweepSummary.TABLE_COLUMNS)
+        assert rows[-1][0] == "ALL"
+
+    def test_seed_variation_changes_executions(self):
+        # With a seeded scheduler, different seeds must produce at least
+        # one differing round-0 disagreement across a small sweep.
+        scenario = view_split()
+        summary = sweep_scenario(
+            lambda seed: scenario.run(seed=seed), range(4)
+        )
+        values = {round(r.disagreement_round0, 12) for r in summary.rows}
+        assert len(values) >= 2
+
+    def test_custom_check(self):
+        scenario = benign(n=5, d=1, eps=0.4)
+
+        class AlwaysOk:
+            ok = True
+
+        summary = sweep_scenario(
+            lambda seed: scenario.run(seed=seed),
+            range(2),
+            check=lambda result: AlwaysOk(),
+        )
+        assert summary.all_ok
+
+    def test_empty_sweep(self):
+        summary = sweep_scenario(lambda seed: None, [])
+        assert summary.num_runs == 0
+        assert summary.all_ok  # vacuous

@@ -1,0 +1,66 @@
+"""Tests for the coordinate-wise baseline and its validity failure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.coordinatewise import run_coordinatewise_consensus
+from repro.core.runner import run_convex_hull_consensus
+from repro.core.invariants import check_validity
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import TargetedDelayScheduler
+from repro.workloads import collinear, gaussian_cluster
+
+
+class TestBasics:
+    def test_points_agree(self):
+        inputs = gaussian_cluster(6, 2, seed=0)
+        result = run_coordinatewise_consensus(inputs, 1, eps=0.05, seed=1)
+        pts = list(result.fault_free_points.values())
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                assert np.linalg.norm(pts[i] - pts[j]) < 0.05
+
+    def test_stays_in_bounding_box(self):
+        inputs = gaussian_cluster(6, 2, seed=1)
+        result = run_coordinatewise_consensus(inputs, 1, eps=0.05, seed=2)
+        lo, hi = inputs.min(axis=0), inputs.max(axis=0)
+        for pt in result.fault_free_points.values():
+            assert np.all(pt >= lo - 1e-9) and np.all(pt <= hi + 1e-9)
+
+    def test_one_trace_per_coordinate(self):
+        inputs = gaussian_cluster(6, 3, seed=2)
+        result = run_coordinatewise_consensus(inputs, 1, eps=0.1, seed=0)
+        assert len(result.coordinate_traces) == 3
+
+
+class TestValidityFailure:
+    """The experiment E4 phenomenon, pinned as a regression test."""
+
+    def _adversarial_run(self, seed):
+        inputs = collinear(8, 2, seed=3) * 2.0
+        plan = FaultPlan.crash_at({7: (0, 1)})
+
+        def factory(coord):
+            if coord == 0:
+                return TargetedDelayScheduler(slow=frozenset({0, 7}), seed=10 + seed)
+            return TargetedDelayScheduler(slow=frozenset({3}), seed=seed)
+
+        return inputs, run_coordinatewise_consensus(
+            inputs, 1, eps=0.05, fault_plan=plan,
+            scheduler_factory=factory, seed=seed,
+        )
+
+    def test_violates_convex_validity(self):
+        inputs, result = self._adversarial_run(seed=1)
+        violations = result.validity_violations(inputs[:7])
+        assert violations, "expected the baseline to leave the hull"
+        assert max(violations.values()) > 0.01
+
+    def test_cc_is_valid_on_same_workload(self):
+        inputs = collinear(8, 2, seed=3) * 2.0
+        plan = FaultPlan.crash_at({7: (0, 1)})
+        result = run_convex_hull_consensus(
+            inputs, 1, 0.05, fault_plan=plan,
+            scheduler=TargetedDelayScheduler(slow=frozenset({0, 7}), seed=11),
+        )
+        assert check_validity(result.trace).ok

@@ -1,0 +1,66 @@
+"""Tests for the naive-collection ablation variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive_collect import run_naive_collect_consensus
+from repro.core.invariants import (
+    check_agreement,
+    check_stable_vector,
+    check_termination,
+    check_validity,
+)
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import BurstyScheduler, RandomScheduler
+from repro.workloads import uniform_box
+
+
+class TestNaiveCollect:
+    def test_convergence_properties_still_hold(self):
+        inputs = uniform_box(6, 1, seed=0)
+        result = run_naive_collect_consensus(
+            inputs, 1, 0.2, scheduler=RandomScheduler(seed=1)
+        )
+        trace = result.trace
+        assert check_validity(trace).ok
+        assert check_agreement(trace).ok
+        assert check_termination(trace).ok
+
+    def test_crash_tolerated(self):
+        inputs = uniform_box(6, 1, seed=1)
+        plan = FaultPlan.crash_at({5: (0, 2)})
+        result = run_naive_collect_consensus(
+            inputs, 1, 0.2, fault_plan=plan, scheduler=RandomScheduler(seed=2)
+        )
+        assert sorted(result.report.decided) == [0, 1, 2, 3, 4]
+
+    def test_views_have_exactly_quorum_entries(self):
+        inputs = uniform_box(6, 1, seed=2)
+        result = run_naive_collect_consensus(
+            inputs, 1, 0.2, scheduler=RandomScheduler(seed=3)
+        )
+        for proc in result.trace.processes:
+            if proc.r_view is not None:
+                assert len(proc.r_view) == 5  # n - f, frozen at quorum
+
+    def test_containment_can_fail(self):
+        # The ablation's raison d'etre: some seeded execution must produce
+        # incomparable views (stable vector would never allow this).
+        inputs = uniform_box(7, 1, seed=31)
+        plan = FaultPlan.crash_at({6: (0, 2)})
+        failures = 0
+        for seed in range(6):
+            result = run_naive_collect_consensus(
+                inputs, 1, 0.1, fault_plan=plan,
+                scheduler=BurstyScheduler(seed=seed),
+            )
+            if not check_stable_vector(result.trace).containment_ok:
+                failures += 1
+        assert failures > 0
+
+    def test_2d_run(self):
+        inputs = uniform_box(5, 2, seed=4)
+        result = run_naive_collect_consensus(
+            inputs, 1, 0.3, scheduler=RandomScheduler(seed=5)
+        )
+        assert check_agreement(result.trace).ok

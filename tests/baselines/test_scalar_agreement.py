@@ -1,0 +1,62 @@
+"""Tests for the scalar approximate-agreement baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scalar_agreement import ScalarAgreementProcess
+from repro.core.config import CCConfig
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.simulator import run_simulation
+
+
+def run_scalar(values, f=1, eps=0.05, seed=0, plan=None):
+    n = len(values)
+    config = CCConfig(
+        n=n, f=f, dim=1, eps=eps,
+        input_lower=float(min(values)), input_upper=float(max(values)),
+        enforce_resilience=False,
+    )
+    cores = [
+        ScalarAgreementProcess(pid=i, config=config, input_value=values[i])
+        for i in range(n)
+    ]
+    run_simulation(
+        cores, fault_plan=plan, scheduler=RandomScheduler(seed=seed)
+    )
+    return cores, config
+
+
+class TestScalarAgreement:
+    def test_agreement(self):
+        cores, config = run_scalar([0.0, 0.2, 0.4, 0.6, 1.0])
+        outs = [c.output for c in cores if c.done]
+        assert max(outs) - min(outs) < config.eps
+
+    def test_validity_within_trimmed_range(self):
+        values = [0.0, 0.2, 0.4, 0.6, 5.0]  # 5.0 is the incorrect extreme
+        cores, _ = run_scalar(values, f=1)
+        for core in cores:
+            if core.done:
+                # f-trimmed initial values lie in [x_(2), x_(n-1)] of each
+                # view; averaging preserves the enclosing interval.
+                assert 0.0 <= core.output <= 0.6 + 1e-9
+
+    def test_crash_tolerated(self):
+        plan = FaultPlan.crash_at({4: (1, 1)})
+        cores, config = run_scalar([0.0, 0.25, 0.5, 0.75, 1.0], plan=plan)
+        decided = [c for c in cores if c.done]
+        assert len(decided) == 4
+        outs = [c.output for c in decided]
+        assert max(outs) - min(outs) < config.eps
+
+    def test_requires_1d_config(self):
+        config = CCConfig(n=5, f=1, dim=2, eps=0.1)
+        with pytest.raises(ValueError):
+            ScalarAgreementProcess(pid=0, config=config, input_value=0.0)
+
+    def test_deterministic(self):
+        a, _ = run_scalar([0.0, 0.3, 0.6, 0.9, 1.0], seed=5)
+        b, _ = run_scalar([0.0, 0.3, 0.6, 0.9, 1.0], seed=5)
+        for x, y in zip(a, b):
+            assert x.output == pytest.approx(y.output, abs=0)

@@ -1,0 +1,55 @@
+"""Tests for the point-valued vector-consensus baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vector_consensus import run_baseline_vector_consensus
+from repro.core.runner import run_convex_hull_consensus
+from repro.geometry.polytope import ConvexPolytope
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import RandomScheduler, TargetedDelayScheduler
+from repro.workloads import gaussian_cluster, with_outliers
+
+
+class TestBaselineVC:
+    def test_agreement(self):
+        inputs = gaussian_cluster(8, 2, seed=0)
+        result = run_baseline_vector_consensus(inputs, 1, eps=0.05, seed=1)
+        assert result.max_pairwise_distance() < 0.05
+
+    def test_validity_under_outlier(self):
+        inputs = with_outliers(gaussian_cluster(8, 2, seed=1), [7], seed=1)
+        plan = FaultPlan.silent_faulty([7])
+        result = run_baseline_vector_consensus(
+            inputs, 1, eps=0.05, fault_plan=plan,
+            scheduler=TargetedDelayScheduler(slow=frozenset({7}), seed=3),
+            input_bounds=(-6, 6),
+        )
+        hull = ConvexPolytope.from_points(inputs[:7])
+        for pid, point in result.fault_free_points.items():
+            assert hull.contains_point(point, tol=1e-6), pid
+
+    def test_crash_tolerated(self):
+        inputs = gaussian_cluster(8, 2, seed=2)
+        plan = FaultPlan.crash_at({7: (1, 2)})
+        result = run_baseline_vector_consensus(
+            inputs, 1, eps=0.1, fault_plan=plan, seed=4
+        )
+        assert len(result.fault_free_points) == 7
+
+    def test_baseline_point_inside_cc_polytope(self):
+        # The reduction story: the baseline's decision is a selector of
+        # the same safe information, so it lands inside CC's polytope.
+        inputs = gaussian_cluster(8, 2, seed=3)
+        sched = RandomScheduler(seed=7)
+        baseline = run_baseline_vector_consensus(inputs, 1, eps=0.05, scheduler=sched)
+        sched2 = RandomScheduler(seed=7)
+        cc = run_convex_hull_consensus(inputs, 1, 0.05, scheduler=sched2)
+        for pid, point in baseline.fault_free_points.items():
+            assert cc.outputs[pid].contains_point(point, tol=1e-5), pid
+
+    def test_1d(self):
+        rng = np.random.default_rng(5)
+        inputs = rng.uniform(-1, 1, size=(5, 1))
+        result = run_baseline_vector_consensus(inputs, 1, eps=0.05, seed=2)
+        assert result.max_pairwise_distance() < 0.05

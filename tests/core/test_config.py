@@ -1,0 +1,104 @@
+"""Unit tests for CCConfig and the t_end arithmetic (Eqs. 2 and 19)."""
+
+import pytest
+
+from repro.core.config import CCConfig, ResilienceError, required_processes
+
+
+class TestResilience:
+    def test_required_processes(self):
+        assert required_processes(1, 1) == 4
+        assert required_processes(2, 1) == 5
+        assert required_processes(3, 2) == 11
+
+    def test_bound_enforced(self):
+        with pytest.raises(ResilienceError):
+            CCConfig(n=4, f=1, dim=2, eps=0.1)
+
+    def test_bound_met(self):
+        config = CCConfig(n=5, f=1, dim=2, eps=0.1)
+        assert config.quorum == 4
+
+    def test_bound_can_be_disabled(self):
+        config = CCConfig(n=4, f=1, dim=2, eps=0.1, enforce_resilience=False)
+        assert config.n == 4
+
+    def test_f_zero(self):
+        config = CCConfig(n=1, f=0, dim=3, eps=0.1)
+        assert config.quorum == 1
+
+
+class TestValidation:
+    def test_positive_eps(self):
+        with pytest.raises(ValueError):
+            CCConfig(n=5, f=1, dim=2, eps=0.0)
+
+    def test_dim_positive(self):
+        with pytest.raises(ValueError):
+            CCConfig(n=5, f=1, dim=0, eps=0.1)
+
+    def test_bounds_ordered(self):
+        with pytest.raises(ValueError):
+            CCConfig(n=5, f=1, dim=2, eps=0.1, input_lower=1.0, input_upper=0.0)
+
+    def test_negative_f(self):
+        with pytest.raises(ValueError):
+            CCConfig(n=5, f=-1, dim=2, eps=0.1)
+
+
+class TestTend:
+    def test_eq19_is_satisfied(self):
+        for n, d, eps in [(5, 1, 0.1), (8, 2, 0.01), (11, 3, 0.001)]:
+            config = CCConfig(n=n, f=1, dim=d, eps=eps)
+            t = config.t_end
+            gamma = config.contraction_factor
+            bound = config.omega_bound
+            assert gamma**t * bound < eps  # Eq. 19 strict inequality
+            if t > 1:
+                assert gamma ** (t - 1) * bound >= eps  # minimality
+
+    def test_smaller_eps_more_rounds(self):
+        loose = CCConfig(n=5, f=1, dim=1, eps=0.5).t_end
+        tight = CCConfig(n=5, f=1, dim=1, eps=0.001).t_end
+        assert tight > loose
+
+    def test_larger_n_more_rounds(self):
+        small = CCConfig(n=5, f=1, dim=1, eps=0.01).t_end
+        large = CCConfig(n=20, f=1, dim=1, eps=0.01).t_end
+        assert large > small
+
+    def test_single_process(self):
+        config = CCConfig(n=1, f=0, dim=1, eps=0.5)
+        assert config.t_end == 1
+
+    def test_huge_eps_one_round(self):
+        config = CCConfig(n=5, f=1, dim=1, eps=100.0)
+        assert config.t_end == 1
+
+    def test_omega_bound_formula(self):
+        config = CCConfig(
+            n=4, f=1, dim=1, eps=0.1, input_lower=-2.0, input_upper=1.0
+        )
+        assert config.coordinate_bound == 2.0
+        assert config.omega_bound == pytest.approx(4 * 2.0)
+
+    def test_agreement_bound_monotone(self):
+        config = CCConfig(n=6, f=1, dim=2, eps=0.1)
+        values = [config.agreement_bound_at(t) for t in range(10)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestInputCheck:
+    def test_accepts_in_bounds(self):
+        config = CCConfig(n=5, f=1, dim=2, eps=0.1)
+        config.check_input([0.5, -0.5])
+
+    def test_rejects_wrong_dim(self):
+        config = CCConfig(n=5, f=1, dim=2, eps=0.1)
+        with pytest.raises(ValueError):
+            config.check_input([0.5])
+
+    def test_rejects_out_of_bounds(self):
+        config = CCConfig(n=5, f=1, dim=2, eps=0.1)
+        with pytest.raises(ValueError):
+            config.check_input([2.0, 0.0])

@@ -1,0 +1,101 @@
+"""Unit tests for the cost-function catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import (
+    CallableCost,
+    LinearCost,
+    QuadraticCost,
+    Theorem4Cost,
+)
+
+
+class TestLinear:
+    def test_eval(self):
+        cost = LinearCost([1.0, -2.0], offset=3.0)
+        assert cost(np.array([1.0, 1.0])) == pytest.approx(2.0)
+
+    def test_lipschitz_is_norm(self):
+        cost = LinearCost([3.0, 4.0])
+        assert cost.lipschitz_bound(-1, 1, 2) == pytest.approx(5.0)
+
+    def test_gradient(self):
+        cost = LinearCost([3.0, 4.0])
+        np.testing.assert_allclose(cost.gradient(np.zeros(2)), [3.0, 4.0])
+
+    def test_convex_flag(self):
+        assert LinearCost([1.0]).convex
+
+
+class TestQuadratic:
+    def test_min_at_target(self):
+        cost = QuadraticCost([0.5, 0.5])
+        assert cost(np.array([0.5, 0.5])) == 0.0
+        assert cost(np.array([1.5, 0.5])) == pytest.approx(1.0)
+
+    def test_lipschitz_bound_valid(self):
+        cost = QuadraticCost([0.0, 0.0])
+        b = cost.lipschitz_bound(-1.0, 1.0, 2)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x = rng.uniform(-1, 1, 2)
+            y = rng.uniform(-1, 1, 2)
+            assert abs(cost(x) - cost(y)) <= b * np.linalg.norm(x - y) + 1e-12
+
+    def test_gradient(self):
+        cost = QuadraticCost([1.0], scale=2.0)
+        np.testing.assert_allclose(cost.gradient(np.array([2.0])), [4.0])
+
+    def test_scale_positive(self):
+        with pytest.raises(ValueError):
+            QuadraticCost([0.0], scale=0.0)
+
+
+class TestTheorem4:
+    def test_values(self):
+        cost = Theorem4Cost()
+        assert cost(np.array([0.0])) == pytest.approx(3.0)
+        assert cost(np.array([1.0])) == pytest.approx(3.0)
+        assert cost(np.array([0.5])) == pytest.approx(4.0)
+        assert cost(np.array([2.0])) == pytest.approx(3.0)  # outside [0,1]
+
+    def test_two_global_minima_inside_unit_interval(self):
+        cost = Theorem4Cost()
+        xs = np.linspace(0, 1, 101)
+        vals = [cost(np.array([x])) for x in xs]
+        assert min(vals) == pytest.approx(3.0)
+        argmins = [x for x, v in zip(xs, vals) if v == pytest.approx(3.0)]
+        assert argmins == [0.0, 1.0]
+
+    def test_lipschitz_on_unit_interval(self):
+        cost = Theorem4Cost()
+        b = cost.lipschitz_bound(0, 1, 1)
+        xs = np.linspace(0, 1, 200)
+        for x, y in zip(xs[:-1], xs[1:]):
+            assert abs(cost(np.array([x])) - cost(np.array([y]))) <= b * (y - x) + 1e-12
+
+    def test_not_convex(self):
+        assert not Theorem4Cost().convex
+
+    def test_gradient_none_outside(self):
+        cost = Theorem4Cost()
+        assert cost.gradient(np.array([0.0])) is None
+        assert cost.gradient(np.array([0.5])) is not None
+
+
+class TestCallable:
+    def test_wraps(self):
+        cost = CallableCost(lambda x: float(np.sum(np.abs(x))), lipschitz=2.0)
+        assert cost(np.array([1.0, -1.0])) == pytest.approx(2.0)
+        assert cost.lipschitz_bound(0, 1, 2) == 2.0
+        assert cost.gradient(np.zeros(2)) is None
+        assert not cost.convex
+
+    def test_with_gradient_and_convexity(self):
+        cost = CallableCost(
+            lambda x: float(x @ x), lipschitz=4.0,
+            grad=lambda x: 2 * np.asarray(x), convex=True,
+        )
+        np.testing.assert_allclose(cost.gradient([1.0, 2.0]), [2.0, 4.0])
+        assert cost.convex

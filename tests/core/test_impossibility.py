@@ -1,0 +1,69 @@
+"""Tests for the Theorem 4 constructions and demonstrations."""
+
+import numpy as np
+import pytest
+
+from repro.core.impossibility import (
+    argmin_instability_demo,
+    binary_scenarios,
+    run_tradeoff_demonstration,
+)
+
+
+class TestScenarios:
+    def test_scenario_shapes(self):
+        scenarios = binary_scenarios(f=1)
+        assert len(scenarios) == 4
+        for sc in scenarios:
+            assert sc.inputs.shape == (5, 1)  # n = 4f + 1
+
+    def test_majority_zero_structure(self):
+        sc = binary_scenarios(f=1)[0]
+        zeros = int(np.sum(sc.inputs == 0.0))
+        assert zeros == 3  # 2f + 1
+
+    def test_f2_scales(self):
+        scenarios = binary_scenarios(f=2)
+        assert scenarios[0].inputs.shape == (9, 1)
+        assert int(np.sum(scenarios[0].inputs == 0.0)) == 5
+
+
+class TestArgminInstability:
+    def test_point_distance_blows_up(self):
+        demo = argmin_instability_demo(eps=1e-3)
+        assert demo["hausdorff_between_polytopes"] == 1e-3
+        assert demo["point_distance"] > 0.9  # opposite global minima
+        assert demo["cost_difference"] <= 4 * 1e-3 + 1e-9
+
+    def test_scaling_with_eps(self):
+        for eps in (1e-2, 1e-4):
+            demo = argmin_instability_demo(eps=eps)
+            assert demo["point_distance"] > 0.9
+            assert demo["cost_difference"] <= 4 * eps + 1e-9
+
+
+class TestTradeoffDemonstration:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_tradeoff_demonstration(f=1, beta=0.5, seed=0)
+
+    def test_all_scenarios_run(self, rows):
+        assert {r.scenario for r in rows} == {
+            "all-zero-visible",
+            "zeros-starved",
+            "ones-starved",
+            "view-split",
+        }
+
+    def test_weak_optimality_always_holds(self, rows):
+        # The positive result: cost spread < beta in every execution.
+        for row in rows:
+            assert row.weak_optimality_holds, row.scenario
+            assert row.cost_spread < row.beta
+
+    def test_decided_costs_are_optimal_when_majority_visible(self, rows):
+        by_name = {r.scenario: r for r in rows}
+        # With the full zero majority visible, every output cost is the
+        # global minimum 3 (weak optimality part (ii) bites).
+        for val in by_name["all-zero-visible"].outputs.values():
+            assert val == pytest.approx(3.0, abs=1e-6)

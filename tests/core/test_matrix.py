@@ -1,0 +1,117 @@
+"""Tests for transition-matrix reconstruction and Lemma 3 / Theorem 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import (
+    backward_products,
+    check_claim1,
+    ergodicity_coefficients,
+    initial_state_vector,
+    is_row_stochastic,
+    reconstruct_transition_matrices,
+    verify_state_evolution,
+)
+
+
+class TestReconstruction:
+    def test_matrices_are_row_stochastic(self, all_session_runs):
+        for result in all_session_runs:
+            for m in reconstruct_transition_matrices(result.trace):
+                assert is_row_stochastic(m)
+
+    def test_rule1_weights(self, benign_2d_run):
+        trace = benign_2d_run.trace
+        matrices = reconstruct_transition_matrices(trace)
+        for proc in trace.processes:
+            for t, senders in proc.round_senders.items():
+                row = matrices[t - 1][proc.pid]
+                for k in range(trace.n):
+                    if k in senders:
+                        assert row[k] == pytest.approx(1.0 / len(senders))
+                    else:
+                        assert row[k] == 0.0
+
+    def test_rule2_rows_uniform(self, crashy_2d_run):
+        trace = crashy_2d_run.trace
+        matrices = reconstruct_transition_matrices(trace)
+        for t in range(1, trace.t_end + 1):
+            crashed = trace.crashed_before_round(t + 1)
+            for j in crashed:
+                np.testing.assert_allclose(
+                    matrices[t - 1][j], np.full(trace.n, 1.0 / trace.n)
+                )
+
+    def test_count_matches_t_end(self, benign_1d_run):
+        matrices = reconstruct_transition_matrices(benign_1d_run.trace)
+        assert len(matrices) == benign_1d_run.config.t_end
+
+
+class TestTheorem1:
+    def test_evolution_matches_states(self, all_session_runs):
+        for result in all_session_runs:
+            check = verify_state_evolution(result.trace)
+            assert check.ok, check.failures[:3]
+            assert check.comparisons > 0
+            assert check.max_hausdorff_error < 1e-7
+
+
+class TestProducts:
+    def test_backward_products_stochastic(self, crashy_2d_run):
+        matrices = reconstruct_transition_matrices(crashy_2d_run.trace)
+        for p in backward_products(matrices):
+            assert is_row_stochastic(p)
+
+    def test_backward_convention(self, benign_1d_run):
+        matrices = reconstruct_transition_matrices(benign_1d_run.trace)
+        products = backward_products(matrices)
+        # P[2] = M[2] @ M[1] (backward), not M[1] @ M[2].
+        expected = matrices[1] @ matrices[0]
+        np.testing.assert_allclose(products[1], expected)
+
+
+class TestLemma3:
+    def test_ergodicity_bound(self, all_session_runs):
+        for result in all_session_runs:
+            check = ergodicity_coefficients(result.trace)
+            assert check.row_stochastic
+            assert check.ok, list(zip(check.deltas, check.bounds))[:5]
+
+    def test_deltas_eventually_shrink(self, benign_2d_run):
+        check = ergodicity_coefficients(benign_2d_run.trace)
+        assert check.deltas[-1] <= check.deltas[0] + 1e-12
+
+
+class TestClaim1:
+    def test_holds_on_all_runs(self, all_session_runs):
+        for result in all_session_runs:
+            assert check_claim1(result.trace)
+
+    def test_zero_columns_for_round0_crashers(self, round0_crash_run):
+        trace = round0_crash_run.trace
+        crashed_first = trace.crashed_before_round(1)
+        assert crashed_first, "fixture must crash a process in round 0"
+        matrices = reconstruct_transition_matrices(trace)
+        products = backward_products(matrices)
+        live = [p.pid for p in trace.processes if p.crash_fired_round is None]
+        for p in products:
+            for j in live:
+                for k in crashed_first:
+                    assert p[j, k] == 0.0
+
+
+class TestInitialStateVector:
+    def test_i2_uses_fault_free_state(self, round0_crash_run):
+        trace = round0_crash_run.trace
+        vector = initial_state_vector(trace)
+        assert len(vector) == trace.n
+        crashed_first = trace.crashed_before_round(1)
+        fault_free_states = [
+            proc.states[0]
+            for proc in trace.processes
+            if proc.pid not in trace.faulty and 0 in proc.states
+        ]
+        for pid in crashed_first:
+            assert any(
+                vector[pid].approx_equal(state) for state in fault_free_states
+            )

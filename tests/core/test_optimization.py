@@ -1,0 +1,97 @@
+"""Tests for the two-step convex hull function optimization (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import LinearCost, QuadraticCost, Theorem4Cost
+from repro.core.optimization import (
+    minimize_over_polytope,
+    run_function_optimization,
+)
+from repro.geometry.polytope import ConvexPolytope
+from repro.workloads import gaussian_cluster, majority_identical
+
+
+@pytest.fixture
+def square():
+    return ConvexPolytope.from_points([[0, 0], [2, 0], [2, 2], [0, 2]])
+
+
+class TestMinimizeOverPolytope:
+    def test_linear_exact_vertex(self, square):
+        y, val = minimize_over_polytope(LinearCost([1.0, 1.0]), square)
+        np.testing.assert_allclose(y, [0.0, 0.0], atol=1e-12)
+        assert val == pytest.approx(0.0)
+
+    def test_quadratic_interior_optimum(self, square):
+        y, val = minimize_over_polytope(QuadraticCost([1.0, 1.5]), square)
+        np.testing.assert_allclose(y, [1.0, 1.5], atol=1e-6)
+        assert val == pytest.approx(0.0, abs=1e-10)
+
+    def test_quadratic_exterior_target_projects(self, square):
+        y, val = minimize_over_polytope(QuadraticCost([3.0, 1.0]), square)
+        np.testing.assert_allclose(y, [2.0, 1.0], atol=1e-5)
+
+    def test_point_polytope(self):
+        p = ConvexPolytope.singleton([0.5, 0.5])
+        y, val = minimize_over_polytope(QuadraticCost([0.0, 0.0]), p)
+        np.testing.assert_allclose(y, [0.5, 0.5])
+
+    def test_nonconvex_uses_vertices(self):
+        # Theorem 4 cost is concave on [0,1]: interval minimum is at an
+        # endpoint, never at the Frank-Wolfe stall point 0.5.
+        poly = ConvexPolytope.from_interval(0.0, 1.0)
+        y, val = minimize_over_polytope(Theorem4Cost(), poly)
+        assert val == pytest.approx(3.0)
+        assert y[0] in (0.0, 1.0)
+
+    def test_member_output(self, square):
+        for cost in (LinearCost([0.3, -1.0]), QuadraticCost([5.0, 5.0])):
+            y, _ = minimize_over_polytope(cost, square)
+            assert square.contains_point(y, tol=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            minimize_over_polytope(LinearCost([1.0]), ConvexPolytope.empty(1))
+
+
+class TestTwoStepAlgorithm:
+    def test_weak_optimality_part_i(self):
+        inputs = gaussian_cluster(8, 2, seed=0)
+        result = run_function_optimization(
+            inputs, 1, beta=0.5, cost=QuadraticCost([0.0, 0.0]), seed=1
+        )
+        assert result.cost_spread() < result.beta
+
+    def test_validity_of_minimizers(self):
+        inputs = gaussian_cluster(8, 2, seed=1)
+        result = run_function_optimization(
+            inputs, 1, beta=0.5, cost=LinearCost([1.0, 0.0]), seed=2
+        )
+        hull = ConvexPolytope.from_points(inputs)
+        for y in result.minimizers.values():
+            assert hull.contains_point(y, tol=1e-6)
+
+    def test_weak_optimality_part_ii(self):
+        # 2f+1 processes share an input: every decided cost <= cost(shared).
+        from repro.core.impossibility import majority_input_guarantee
+
+        f = 1
+        shared = np.array([0.1, -0.2])
+        inputs = majority_identical(6, 2, f, shared=shared, seed=3)
+        cost = QuadraticCost([0.1, -0.2])  # shared input is the optimum
+        result = run_function_optimization(inputs, f, beta=0.3, cost=cost, seed=0)
+        assert majority_input_guarantee(result, cost, shared)
+
+    def test_epsilon_derived_from_beta(self):
+        inputs = gaussian_cluster(8, 2, seed=2)
+        cost = LinearCost([2.0, 0.0])  # Lipschitz 2
+        result = run_function_optimization(inputs, 1, beta=0.4, cost=cost, seed=1)
+        assert result.lipschitz == pytest.approx(2.0)
+        assert result.cc_result.config.eps == pytest.approx(0.2)
+
+    def test_beta_positive(self):
+        with pytest.raises(ValueError):
+            run_function_optimization(
+                gaussian_cluster(8, 2), 1, beta=0.0, cost=LinearCost([1.0, 0.0])
+            )

@@ -1,0 +1,64 @@
+"""Tests for the one-call runner API."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ResilienceError
+from repro.core.runner import (
+    build_config,
+    derive_bounds,
+    run_convex_hull_consensus,
+)
+
+
+class TestBuildConfig:
+    def test_dims_from_inputs(self):
+        inputs = np.zeros((5, 2))
+        config = build_config(inputs, 1, 0.1)
+        assert config.n == 5 and config.dim == 2
+
+    def test_bounds_derived(self):
+        inputs = np.array([[-3.0], [2.0], [0.0], [1.0]])
+        config = build_config(inputs, 1, 0.1)
+        assert config.input_lower == -3.0
+        assert config.input_upper == 2.0
+
+    def test_explicit_bounds(self):
+        inputs = np.zeros((5, 2))
+        config = build_config(inputs, 1, 0.1, input_bounds=(-9.0, 9.0))
+        assert config.input_upper == 9.0
+
+    def test_derive_bounds_margin(self):
+        lo, hi = derive_bounds(np.array([[0.0], [1.0]]), margin=0.5)
+        assert (lo, hi) == (-0.5, 1.5)
+
+    def test_resilience_still_enforced(self):
+        with pytest.raises(ResilienceError):
+            build_config(np.zeros((4, 2)), 1, 0.1)
+
+
+class TestRunApi:
+    def test_result_shape(self, benign_2d_run):
+        result = benign_2d_run
+        assert set(result.outputs.keys()) == set(range(8))
+        assert result.output_of(0).dim == 2
+        assert result.trace.messages_delivered <= result.trace.messages_sent
+
+    def test_seed_reproducibility(self):
+        inputs = np.random.default_rng(5).uniform(-1, 1, size=(5, 1))
+        a = run_convex_hull_consensus(inputs, 1, 0.3, seed=11)
+        b = run_convex_hull_consensus(inputs, 1, 0.3, seed=11)
+        assert a.report.delivery_steps == b.report.delivery_steps
+        for pid in a.outputs:
+            assert a.outputs[pid].approx_equal(b.outputs[pid])
+
+    def test_different_seeds_may_differ_in_schedule(self):
+        inputs = np.random.default_rng(5).uniform(-1, 1, size=(5, 1))
+        a = run_convex_hull_consensus(inputs, 1, 0.3, seed=1)
+        b = run_convex_hull_consensus(inputs, 1, 0.3, seed=2)
+        # Outputs must both satisfy agreement regardless of schedule.
+        assert a.config.t_end == b.config.t_end
+
+    def test_fault_free_outputs_excludes_faulty(self, starved_2d_run):
+        assert 7 not in starved_2d_run.fault_free_outputs
+        assert 7 in starved_2d_run.outputs  # it decided, it is just faulty

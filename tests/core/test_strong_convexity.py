@@ -1,0 +1,65 @@
+"""Tests for the Section 7 strong-convexity conjecture tooling."""
+
+import numpy as np
+import pytest
+
+from repro.core.strong_convexity import (
+    ConjectureProbe,
+    conjectured_point_spread_bound,
+    fitted_exponent,
+    probe_conjecture,
+)
+
+
+class TestBound:
+    def test_formula(self):
+        # sqrt(4 * 2 * 0.02 / 4) + 0.02 = sqrt(0.04) + 0.02 = 0.22
+        assert conjectured_point_spread_bound(0.02, 2.0, 4.0) == pytest.approx(0.22)
+
+    def test_monotone_in_eps(self):
+        values = [conjectured_point_spread_bound(e, 1.0, 1.0) for e in (0.01, 0.1, 1.0)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conjectured_point_spread_bound(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            conjectured_point_spread_bound(0.1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            conjectured_point_spread_bound(0.1, 1.0, -2.0)
+
+
+class TestProbes:
+    def test_probes_within_bound(self):
+        for eps in (0.05, 0.005):
+            probes = probe_conjecture(eps=eps, trials=6, seed=1)
+            assert probes
+            for p in probes:
+                assert isinstance(p, ConjectureProbe)
+                assert p.within_bound
+                assert p.hausdorff > 0
+
+    def test_spread_shrinks_with_eps(self):
+        big = max(p.point_spread for p in probe_conjecture(eps=0.1, trials=6, seed=2))
+        small = max(p.point_spread for p in probe_conjecture(eps=0.001, trials=6, seed=2))
+        assert small < big
+
+    def test_dimension_parameter(self):
+        probes = probe_conjecture(eps=0.01, dim=3, trials=4, seed=3)
+        assert probes
+
+
+class TestFit:
+    def test_linear_relationship(self):
+        eps = [0.1, 0.01, 0.001]
+        spreads = [0.2, 0.02, 0.002]
+        assert fitted_exponent(eps, spreads) == pytest.approx(1.0, abs=1e-9)
+
+    def test_sqrt_relationship(self):
+        eps = [0.1, 0.01, 0.001]
+        spreads = [np.sqrt(e) for e in eps]
+        assert fitted_exponent(eps, spreads) == pytest.approx(0.5, abs=1e-9)
+
+    def test_insufficient_data(self):
+        assert fitted_exponent([0.1], [0.05]) is None
+        assert fitted_exponent([0.1, 0.01], [0.0, 0.0]) is None

@@ -1,0 +1,49 @@
+"""Tests for the CC -> vector consensus reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.vector_consensus import run_vector_consensus
+from repro.geometry.polytope import ConvexPolytope
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import TargetedDelayScheduler
+from repro.workloads import gaussian_cluster, with_outliers
+
+
+class TestReduction:
+    def test_epsilon_agreement_on_points(self):
+        inputs = gaussian_cluster(8, 2, seed=0)
+        result = run_vector_consensus(inputs, 1, eps=0.05, seed=1)
+        assert result.max_pairwise_distance() < 0.05
+
+    def test_validity_points_in_correct_hull(self):
+        inputs = with_outliers(gaussian_cluster(8, 2, seed=1), [7], seed=1)
+        plan = FaultPlan.silent_faulty([7])
+        result = run_vector_consensus(
+            inputs,
+            1,
+            eps=0.05,
+            fault_plan=plan,
+            scheduler=TargetedDelayScheduler(slow=frozenset({7}), seed=2),
+            input_bounds=(-6, 6),
+        )
+        hull = ConvexPolytope.from_points(inputs[:7])
+        for pid, point in result.fault_free_points.items():
+            assert hull.contains_point(point, tol=1e-6), pid
+
+    def test_points_inside_decided_polytopes(self):
+        inputs = gaussian_cluster(8, 2, seed=2)
+        result = run_vector_consensus(inputs, 1, eps=0.1, seed=3)
+        for pid, point in result.points.items():
+            assert result.cc_result.outputs[pid].contains_point(point, tol=1e-6)
+
+    def test_underlying_cc_uses_scaled_eps(self):
+        inputs = gaussian_cluster(8, 2, seed=3)
+        result = run_vector_consensus(inputs, 1, eps=0.1, seed=4)
+        assert result.cc_result.config.eps < 0.1  # eps / c_d with c_d > 1
+
+    def test_1d_reduction(self):
+        rng = np.random.default_rng(4)
+        inputs = rng.uniform(-1, 1, size=(5, 1))
+        result = run_vector_consensus(inputs, 1, eps=0.05, seed=5)
+        assert result.max_pairwise_distance() < 0.05

@@ -1,0 +1,105 @@
+"""Unit tests for the exact 2-d polygon clipping path."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.clipping import (
+    clip_polygon_by_halfspace,
+    halfspace_intersection_2d,
+)
+
+
+SQUARE = np.array([[0.0, 0.0], [4.0, 0.0], [4.0, 4.0], [0.0, 4.0]])
+
+
+class TestClipByHalfspace:
+    def test_no_clip_when_fully_inside(self):
+        out = clip_polygon_by_halfspace(SQUARE, np.array([1.0, 0.0]), 10.0)
+        assert out.shape[0] == 4
+
+    def test_full_clip_when_fully_outside(self):
+        out = clip_polygon_by_halfspace(SQUARE, np.array([1.0, 0.0]), -1.0)
+        assert out.shape[0] == 0
+
+    def test_half_clip(self):
+        out = clip_polygon_by_halfspace(SQUARE, np.array([1.0, 0.0]), 2.0)
+        xs = out[:, 0]
+        assert xs.max() == pytest.approx(2.0)
+        assert out.shape[0] == 4
+
+    def test_corner_clip(self):
+        out = clip_polygon_by_halfspace(SQUARE, np.array([1.0, 1.0]), 1.0)
+        # Cuts off everything except the corner triangle at the origin.
+        assert out.shape[0] == 3
+        area2 = 0.0
+        for i in range(3):
+            x1, y1 = out[i]
+            x2, y2 = out[(i + 1) % 3]
+            area2 += x1 * y2 - x2 * y1
+        assert area2 / 2 == pytest.approx(0.5)
+
+    def test_empty_input(self):
+        out = clip_polygon_by_halfspace(np.zeros((0, 2)), np.array([1.0, 0.0]), 1.0)
+        assert out.shape[0] == 0
+
+
+class TestHalfspaceIntersection2d:
+    def test_square(self):
+        a = np.array([[1.0, 0], [-1.0, 0], [0, 1.0], [0, -1.0]])
+        b = np.array([1.0, 0.0, 1.0, 0.0])
+        verts = halfspace_intersection_2d(a, b)
+        got = {tuple(np.round(v, 9)) for v in verts}
+        assert got == {(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)}
+
+    def test_triangle(self):
+        a = np.array([[-1.0, 0.0], [0.0, -1.0], [1.0, 1.0]])
+        b = np.array([0.0, 0.0, 1.0])
+        verts = halfspace_intersection_2d(a, b)
+        got = {tuple(np.round(v, 9)) for v in verts}
+        assert got == {(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)}
+
+    def test_empty(self):
+        a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        b = np.array([0.0, -1.0, 1.0, 0.0])
+        verts = halfspace_intersection_2d(a, b)
+        assert verts.shape[0] == 0
+
+    def test_unbounded_raises(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([1.0])
+        with pytest.raises(ValueError):
+            halfspace_intersection_2d(a, b)
+
+    def test_order_insensitive(self):
+        rng = np.random.default_rng(0)
+        a = np.array(
+            [[1.0, 0], [-1.0, 0], [0, 1.0], [0, -1.0], [1.0, 1.0], [-1.0, 1.0]]
+        )
+        b = np.array([2.0, 2.0, 2.0, 2.0, 3.0, 3.0])
+        base = halfspace_intersection_2d(a, b)
+        base_set = {tuple(np.round(v, 8)) for v in base}
+        for _ in range(5):
+            perm = rng.permutation(len(b))
+            verts = halfspace_intersection_2d(a[perm], b[perm])
+            assert {tuple(np.round(v, 8)) for v in verts} == base_set
+
+    def test_nearly_parallel_exact(self):
+        # Two constraints differing by angle 1e-6 intersect far away but
+        # the clipped region near the origin must keep full precision.
+        theta = 1e-6
+        a = np.array(
+            [
+                [0.0, 1.0],
+                [np.sin(theta), np.cos(theta)],
+                [-1.0, 0.0],
+                [1.0, 0.0],
+                [0.0, -1.0],
+            ]
+        )
+        b = np.array([1.0, 1.0, 1.0, 1.0, 0.0])
+        verts = halfspace_intersection_2d(a, b)
+        for v in verts:
+            assert np.all(a @ v <= b + 1e-9)
+        ys = [v[1] for v in verts]
+        assert max(ys) <= 1.0 + 1e-9
+        assert max(ys) >= 1.0 - 1e-5  # the top edge is essentially y=1

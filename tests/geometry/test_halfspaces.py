@@ -1,0 +1,189 @@
+"""Unit tests for H-representations and halfspace vertex enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.errors import InfeasibleRegionError
+from repro.geometry.halfspaces import (
+    chebyshev_center,
+    dedupe_halfspaces,
+    feasible_point,
+    hrep_of_hull,
+    linear_maximize,
+    vertices_of_halfspace_system,
+)
+
+
+def _unit_square_system():
+    a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+    b = np.array([1.0, 0.0, 1.0, 0.0])
+    return a, b
+
+
+class TestHrepOfHull:
+    def test_square_hrep_contains_exactly_the_square(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        a, b = hrep_of_hull(square)
+        inside = np.array([0.5, 0.5])
+        outside = np.array([1.5, 0.5])
+        assert np.all(a @ inside <= b + 1e-12)
+        assert np.any(a @ outside > b + 1e-12)
+
+    def test_1d_hull(self):
+        a, b = hrep_of_hull(np.array([[2.0], [5.0], [3.0]]))
+        assert np.all(a @ np.array([4.0]) <= b + 1e-12)
+        assert np.any(a @ np.array([6.0]) > b)
+
+    def test_segment_in_2d_has_equalities(self):
+        seg = np.array([[0.0, 0.0], [2.0, 2.0]])
+        a, b = hrep_of_hull(seg)
+        on = np.array([1.0, 1.0])
+        off_line = np.array([1.0, 1.2])
+        beyond = np.array([3.0, 3.0])
+        assert np.all(a @ on <= b + 1e-9)
+        assert np.any(a @ off_line > b + 1e-9)
+        assert np.any(a @ beyond > b + 1e-9)
+
+    def test_single_point(self):
+        a, b = hrep_of_hull(np.array([[1.0, 2.0]]))
+        assert np.all(np.abs(a @ np.array([1.0, 2.0]) - b) <= 1e-9)
+        assert np.any(a @ np.array([1.1, 2.0]) > b + 1e-9)
+
+    def test_3d_simplex(self):
+        simplex = np.vstack([np.zeros(3), np.eye(3)])
+        a, b = hrep_of_hull(simplex)
+        assert np.all(a @ np.full(3, 0.1) <= b + 1e-12)
+        assert np.any(a @ np.full(3, 0.5) > b + 1e-12)
+
+    def test_empty_raises(self):
+        with pytest.raises(InfeasibleRegionError):
+            hrep_of_hull(np.zeros((0, 2)))
+
+
+class TestDedupe:
+    def test_exact_duplicates_collapse(self):
+        a = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        b = np.array([1.0, 1.0, 2.0])
+        a2, b2 = dedupe_halfspaces(a, b)
+        assert a2.shape[0] == 2
+
+    def test_keeps_tightest_offset(self):
+        a = np.array([[1.0, 0.0], [1.0, 0.0]])
+        b = np.array([2.0, 1.0])
+        a2, b2 = dedupe_halfspaces(a, b)
+        assert b2.tolist() == [1.0]
+
+    def test_normalises_scaling(self):
+        a = np.array([[2.0, 0.0], [1.0, 0.0]])
+        b = np.array([4.0, 2.0])  # same halfspace x <= 2
+        a2, b2 = dedupe_halfspaces(a, b)
+        assert a2.shape[0] == 1
+        assert b2[0] == pytest.approx(2.0)
+
+    def test_drops_zero_rows(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([1.0, 1.0])
+        a2, _ = dedupe_halfspaces(a, b)
+        assert a2.shape[0] == 1
+
+
+class TestChebyshev:
+    def test_unit_square(self):
+        a, b = _unit_square_system()
+        center, radius = chebyshev_center(a, b)
+        np.testing.assert_allclose(center, [0.5, 0.5], atol=1e-8)
+        assert radius == pytest.approx(0.5, abs=1e-8)
+
+    def test_infeasible(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([0.0, -1.0])  # x <= 0 and x >= 1
+        with pytest.raises(InfeasibleRegionError):
+            chebyshev_center(a, b)
+
+    def test_feasible_point(self):
+        a, b = _unit_square_system()
+        p = feasible_point(a, b)
+        assert np.all(a @ p <= b + 1e-9)
+
+    def test_degenerate_region_zero_radius(self):
+        a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        b = np.array([1.0, -1.0, 2.0, 0.0])  # x == 1, 0 <= y <= 2
+        _, radius = chebyshev_center(a, b)
+        assert radius == pytest.approx(0.0, abs=1e-9)
+
+
+class TestLinearMaximize:
+    def test_direction(self):
+        a, b = _unit_square_system()
+        argmax, value = linear_maximize(a, b, np.array([1.0, 1.0]))
+        assert value == pytest.approx(2.0, abs=1e-8)
+        np.testing.assert_allclose(argmax, [1.0, 1.0], atol=1e-8)
+
+
+class TestVertexEnumeration:
+    def test_unit_square(self):
+        a, b = _unit_square_system()
+        verts = vertices_of_halfspace_system(a, b)
+        expected = {(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)}
+        assert {tuple(np.round(v, 9)) for v in verts} == expected
+
+    def test_empty_region(self):
+        a = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        b = np.array([0.0, -1.0])
+        verts = vertices_of_halfspace_system(a, b)
+        assert verts.shape[0] == 0
+
+    def test_single_point_region(self):
+        a = np.array([[1.0, 0], [-1.0, 0], [0, 1.0], [0, -1.0]])
+        b = np.array([1.0, -1.0, 1.0, -1.0])  # x == 1, y == 1
+        verts = vertices_of_halfspace_system(a, b)
+        assert verts.shape[0] == 1
+        np.testing.assert_allclose(verts[0], [1.0, 1.0], atol=1e-7)
+
+    def test_segment_region(self):
+        # x == 0.5, 0 <= y <= 1 in the plane.
+        a = np.array([[1.0, 0], [-1.0, 0], [0, 1.0], [0, -1.0]])
+        b = np.array([0.5, -0.5, 1.0, 0.0])
+        verts = vertices_of_halfspace_system(a, b)
+        got = {tuple(np.round(v, 7)) for v in verts}
+        assert got == {(0.5, 0.0), (0.5, 1.0)}
+
+    def test_1d(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([2.0, 1.0])  # -1 <= x <= 2
+        verts = vertices_of_halfspace_system(a, b)
+        assert sorted(v[0] for v in verts) == pytest.approx([-1.0, 2.0])
+
+    def test_3d_cube(self):
+        a = np.vstack([np.eye(3), -np.eye(3)])
+        b = np.concatenate([np.ones(3), np.zeros(3)])
+        verts = vertices_of_halfspace_system(a, b)
+        assert verts.shape[0] == 8
+
+    def test_flat_region_in_3d(self):
+        # z == 0.25 slab intersected with the unit cube: a square.
+        a = np.vstack([np.eye(3), -np.eye(3), [[0, 0, 1.0]], [[0, 0, -1.0]]])
+        b = np.concatenate([np.ones(3), np.zeros(3), [0.25, -0.25]])
+        verts = vertices_of_halfspace_system(a, b)
+        assert verts.shape[0] == 4
+        assert np.allclose(verts[:, 2], 0.25, atol=1e-7)
+
+    def test_nearly_parallel_conditioning(self):
+        # Regression: nearly parallel constraint pairs must not displace
+        # vertices (the scipy dual-space failure mode).
+        a = np.array(
+            [
+                [0.0, -1.0],
+                [1e-4, 1.0],
+                [-1e-4, 1.0],
+                [1.0, 0.0],
+                [-1.0, 0.0],
+            ]
+        )
+        b = np.array([0.0, 1.0, 1.0, 10.0, 10.0])
+        verts = vertices_of_halfspace_system(a, b)
+        # The apex region: y <= 1 -/+ 1e-4 x, y >= 0, |x| <= 10.
+        for v in verts:
+            assert np.all(a @ v <= b + 1e-9)
+        ys = sorted(v[1] for v in verts)
+        assert ys[-1] == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,106 @@
+"""Regression tests for numerically subtle hull behaviours.
+
+Each test pins a bug found during development so it cannot return:
+
+* the *sagitta* pruning bug — pruning near-collinear vertices by cross
+  product (area) instead of perpendicular distance eroded polytope
+  boundaries by up to ~3e-5 after iterated Minkowski combinations,
+  breaking Lemma 6 containment at the default invariant tolerance;
+* the premature FISTA stop — projections of interior points reported
+  distances ~1e-5 > 0, flipping membership tests near boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.combination import equal_weight_combination
+from repro.geometry.hull import hull_vertices_2d
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.projection import distance_to_hull
+
+
+class TestSagittaPruning:
+    def test_short_chord_vertex_survives(self):
+        # Three nearly-collinear points where the *cross product* is tiny
+        # (below an area threshold) but the sagitta is large relative to
+        # membership tolerances: the middle vertex must be kept.
+        base = 1e-4
+        sag = 3e-5
+        pts = np.array(
+            [[0.0, 0.0], [base / 2, sag], [base, 0.0], [base / 2, -1.0]]
+        )
+        ring = hull_vertices_2d(pts)
+        # The apex (base/2, sag) is a true extreme point.
+        assert any(
+            np.allclose(v, [base / 2, sag], atol=1e-12) for v in ring
+        ), ring
+
+    def test_truly_collinear_still_pruned(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0], [0.5, -1.0]])
+        ring = hull_vertices_2d(pts)
+        assert ring.shape[0] == 3  # midpoint of the top edge dropped
+
+    def test_iterated_combination_preserves_containment(self):
+        """The end-to-end symptom: a common point must survive many rounds
+        of equal-weight combination without drifting outside."""
+        rng = np.random.default_rng(3)
+        polys = [
+            ConvexPolytope.from_points(rng.uniform(-1, 1, size=(6, 2)))
+            for _ in range(4)
+        ]
+        from repro.geometry.operations import intersect_polytopes
+
+        common = intersect_polytopes(polys)
+        if common.is_empty:
+            pytest.skip("random polytopes did not overlap for this seed")
+        probe = common.centroid
+        states = polys
+        for _ in range(30):
+            mixed = equal_weight_combination(states)
+            states = [mixed] * 4
+            # probe is a fixed point of averaging identical containers.
+            assert mixed.contains_point(probe, tol=1e-7)
+
+
+class TestProjectionExactness:
+    def test_interior_points_have_zero_distance(self):
+        rng = np.random.default_rng(8)
+        verts = rng.normal(size=(8, 2)) * 2
+        # Strict interior mixtures must project to themselves.
+        for _ in range(20):
+            lam = rng.dirichlet(np.ones(8))
+            q = lam @ verts
+            assert distance_to_hull(q, verts) < 1e-9
+
+    def test_near_boundary_classification(self):
+        verts = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        inside = np.array([0.3, 0.3])
+        outside = np.array([0.51, 0.51])  # just across x+y=1
+        assert distance_to_hull(inside, verts) < 1e-10
+        assert distance_to_hull(outside, verts) > 1e-3
+
+
+class TestHrepCache:
+    def test_hrep_roundtrip_membership(self):
+        poly = ConvexPolytope.from_points([[0, 0], [2, 0], [0, 2]])
+        a, b = poly.hrep()
+        assert np.all(a @ np.array([0.5, 0.5]) <= b + 1e-9)
+        assert np.any(a @ np.array([2.0, 2.0]) > b)
+
+    def test_violation_sign_convention(self):
+        poly = ConvexPolytope.from_points([[0, 0], [2, 0], [0, 2]])
+        assert poly.violation([0.5, 0.5]) < 0
+        assert poly.violation([2.0, 2.0]) > 0
+        assert abs(poly.violation([1.0, 1.0])) < 1e-9  # on the hypotenuse
+
+    def test_hrep_returns_copies(self):
+        poly = ConvexPolytope.from_points([[0, 0], [1, 0], [0, 1]])
+        a, b = poly.hrep()
+        a[0, 0] = 99.0
+        a2, _ = poly.hrep()
+        assert a2[0, 0] != 99.0
+
+    def test_degenerate_hrep(self):
+        seg = ConvexPolytope.from_points([[0, 0], [1, 1]])
+        assert seg.violation([0.5, 0.5]) <= 1e-9
+        assert seg.violation([0.5, 0.6]) > 1e-3

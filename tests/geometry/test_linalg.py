@@ -1,0 +1,135 @@
+"""Unit tests for affine-subspace utilities."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.errors import DimensionMismatchError
+from repro.geometry.linalg import (
+    affine_chart,
+    affine_rank,
+    as_points_array,
+    deduplicate_points,
+)
+
+
+class TestAsPointsArray:
+    def test_nested_list(self):
+        arr = as_points_array([[1, 2], [3, 4]])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+    def test_single_point_promotes(self):
+        arr = as_points_array([1.0, 2.0, 3.0])
+        assert arr.shape == (1, 3)
+
+    def test_dim_validation(self):
+        with pytest.raises(DimensionMismatchError):
+            as_points_array([[1, 2]], dim=3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            as_points_array([[np.nan, 0.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            as_points_array([[np.inf, 0.0]])
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(DimensionMismatchError):
+            as_points_array(np.zeros((2, 2, 2)))
+
+
+class TestAffineRank:
+    def test_single_point(self):
+        assert affine_rank([[3.0, 4.0]]) == 0
+
+    def test_two_distinct_points(self):
+        assert affine_rank([[0.0, 0.0], [1.0, 1.0]]) == 1
+
+    def test_coincident_points(self):
+        assert affine_rank([[2.0, 2.0], [2.0, 2.0], [2.0, 2.0]]) == 0
+
+    def test_collinear_in_3d(self):
+        pts = np.outer(np.linspace(0, 1, 5), [1.0, 2.0, 3.0])
+        assert affine_rank(pts) == 1
+
+    def test_planar_in_3d(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(size=(10, 2))
+        pts = coeffs @ np.array([[1.0, 0.0, 1.0], [0.0, 1.0, -1.0]])
+        assert affine_rank(pts) == 2
+
+    def test_full_rank(self):
+        rng = np.random.default_rng(1)
+        assert affine_rank(rng.normal(size=(10, 3))) == 3
+
+    def test_scale_invariance(self):
+        pts = np.outer(np.linspace(0, 1, 4), [1.0, 1.0]) * 1e6
+        assert affine_rank(pts) == 1
+
+
+class TestAffineChart:
+    def test_roundtrip_is_identity_on_subspace(self):
+        rng = np.random.default_rng(2)
+        line = np.outer(rng.normal(size=6), [0.6, 0.8]) + np.array([1.0, -1.0])
+        chart = affine_chart(line)
+        assert chart.local_dim == 1
+        back = chart.to_ambient(chart.to_local(line))
+        np.testing.assert_allclose(back, line, atol=1e-10)
+
+    def test_isometry(self):
+        rng = np.random.default_rng(3)
+        plane_basis = np.array([[1.0, 0.0, 2.0], [0.0, 1.0, -1.0]])
+        pts = rng.normal(size=(8, 2)) @ plane_basis
+        chart = affine_chart(pts)
+        local = chart.to_local(pts)
+        orig = np.linalg.norm(pts[0] - pts[1])
+        mapped = np.linalg.norm(local[0] - local[1])
+        assert mapped == pytest.approx(orig, rel=1e-12)
+
+    def test_single_point_chart(self):
+        chart = affine_chart([[5.0, 6.0]])
+        assert chart.local_dim == 0
+        assert chart.ambient_dim == 2
+
+    def test_distance_from_subspace(self):
+        line = np.array([[0.0, 0.0], [1.0, 0.0]])
+        chart = affine_chart(line)
+        dist = chart.distance_from_subspace(np.array([[0.5, 2.0]]))
+        assert dist[0] == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            affine_chart(np.zeros((0, 2)))
+
+    def test_to_ambient_dim_check(self):
+        chart = affine_chart([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(DimensionMismatchError):
+            chart.to_ambient(np.zeros((1, 2)))
+
+
+class TestDeduplicatePoints:
+    def test_removes_exact_duplicates(self):
+        pts = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        out = deduplicate_points(pts)
+        assert out.shape == (2, 2)
+
+    def test_keeps_first_occurrence_order(self):
+        pts = np.array([[3.0, 4.0], [1.0, 2.0], [3.0, 4.0]])
+        out = deduplicate_points(pts)
+        np.testing.assert_array_equal(out[0], [3.0, 4.0])
+        np.testing.assert_array_equal(out[1], [1.0, 2.0])
+
+    def test_distinct_points_survive(self):
+        rng = np.random.default_rng(4)
+        pts = rng.normal(size=(50, 3))
+        assert deduplicate_points(pts).shape == (50, 3)
+
+    def test_single_point(self):
+        out = deduplicate_points([[1.0]])
+        assert out.shape == (1, 1)
+
+    def test_near_duplicates_within_tol(self):
+        pts = np.array([[0.0, 0.0], [1e-15, 1e-15], [1.0, 1.0]])
+        out = deduplicate_points(pts, tol=1e-12)
+        assert out.shape[0] == 2

@@ -1,0 +1,143 @@
+"""Unit tests for the general polytope-operations API."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.errors import DimensionMismatchError, EmptyPolytopeError
+from repro.geometry.operations import (
+    box,
+    cross_polytope,
+    dilate,
+    interpolate,
+    intersect_polytopes,
+    minkowski_sum,
+    regular_polygon,
+)
+from repro.geometry.polytope import ConvexPolytope
+
+
+class TestIntersect:
+    def test_overlapping_squares(self):
+        a = box([0, 0], [2, 2])
+        b = box([1, 1], [3, 3])
+        out = intersect_polytopes([a, b])
+        assert out.approx_equal(box([1, 1], [2, 2]))
+
+    def test_disjoint(self):
+        a = box([0, 0], [1, 1])
+        b = box([5, 5], [6, 6])
+        assert intersect_polytopes([a, b]).is_empty
+
+    def test_touching_gives_degenerate(self):
+        a = box([0, 0], [1, 1])
+        b = box([1, 0], [2, 1])
+        out = intersect_polytopes([a, b])
+        assert not out.is_empty
+        assert out.affine_dim <= 1  # shared edge
+
+    def test_three_way(self):
+        polys = [
+            box([0, 0], [3, 3]),
+            box([1, -1], [4, 4]),
+            box([-1, 1], [2, 2]),
+        ]
+        out = intersect_polytopes(polys)
+        assert out.approx_equal(box([1, 1], [2, 2]))
+
+    def test_empty_operand_short_circuit(self):
+        a = box([0, 0], [1, 1])
+        out = intersect_polytopes([a, ConvexPolytope.empty(2)])
+        assert out.is_empty
+
+    def test_single_operand(self):
+        a = box([0, 0], [1, 1])
+        assert intersect_polytopes([a]) is a
+
+    def test_requires_operands(self):
+        with pytest.raises(ValueError):
+            intersect_polytopes([])
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            intersect_polytopes([box([0, 0], [1, 1]), ConvexPolytope.from_interval(0, 1)])
+
+
+class TestMinkowski:
+    def test_box_sum(self):
+        a = box([0, 0], [1, 1])
+        b = box([0, 0], [2, 1])
+        out = minkowski_sum(a, b)
+        assert out.approx_equal(box([0, 0], [3, 2]))
+
+    def test_sum_with_point_translates(self):
+        a = regular_polygon(5)
+        p = ConvexPolytope.singleton([3.0, -1.0])
+        out = minkowski_sum(a, p)
+        assert out.approx_equal(a.translate([3.0, -1.0]))
+
+    def test_relation_to_l(self):
+        from repro.geometry.combination import linear_combination
+        from repro.geometry.operations import dilate
+
+        a = regular_polygon(4)
+        b = regular_polygon(3, radius=0.5, center=(1, 1))
+        via_l = dilate(linear_combination([a, b], [0.5, 0.5]), 2.0)
+        direct = minkowski_sum(a, b)
+        assert via_l.approx_equal(direct, tol=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPolytopeError):
+            minkowski_sum(box([0, 0], [1, 1]), ConvexPolytope.empty(2))
+
+
+class TestDilateInterpolate:
+    def test_dilate_volume(self):
+        a = box([0, 0], [1, 1])
+        assert dilate(a, 3.0).volume() == pytest.approx(9.0)
+
+    def test_dilate_zero_is_origin(self):
+        out = dilate(regular_polygon(6), 0.0)
+        assert out.is_point
+        np.testing.assert_allclose(out.vertices[0], [0.0, 0.0])
+
+    def test_interpolate_endpoints(self):
+        a = box([0, 0], [1, 1])
+        b = box([4, 4], [6, 6])
+        assert interpolate(a, b, 0.0).approx_equal(a)
+        assert interpolate(a, b, 1.0).approx_equal(b)
+
+    def test_interpolate_midpoint(self):
+        a = ConvexPolytope.singleton([0.0, 0.0])
+        b = ConvexPolytope.singleton([2.0, 0.0])
+        mid = interpolate(a, b, 0.5)
+        np.testing.assert_allclose(mid.vertices[0], [1.0, 0.0])
+
+    def test_interpolate_range_check(self):
+        a = box([0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            interpolate(a, a, 1.5)
+
+
+class TestConstructors:
+    def test_regular_polygon(self):
+        hexagon = regular_polygon(6, radius=2.0)
+        assert hexagon.num_vertices == 6
+        assert hexagon.contains_point([0.0, 0.0])
+        with pytest.raises(ValueError):
+            regular_polygon(2)
+
+    def test_cross_polytope(self):
+        cp = cross_polytope(3)
+        assert cp.num_vertices == 6
+        assert cp.contains_point([0.3, 0.3, 0.3])
+        assert not cp.contains_point([0.9, 0.9, 0.0])
+
+    def test_box_validation(self):
+        with pytest.raises(ValueError):
+            box([1, 1], [0, 0])
+        with pytest.raises(DimensionMismatchError):
+            box([0, 0], [1, 1, 1])
+
+    def test_box_volume(self):
+        b = box([-1, -1, -1], [1, 1, 1])
+        assert b.volume() == pytest.approx(8.0)

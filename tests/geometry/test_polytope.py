@@ -1,0 +1,167 @@
+"""Unit tests for the ConvexPolytope value type."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.errors import DimensionMismatchError, EmptyPolytopeError
+from repro.geometry.polytope import ConvexPolytope
+
+
+@pytest.fixture
+def triangle():
+    return ConvexPolytope.from_points([[0, 0], [2, 0], [0, 2]])
+
+
+@pytest.fixture
+def square():
+    return ConvexPolytope.from_points([[0, 0], [1, 0], [1, 1], [0, 1]])
+
+
+class TestConstruction:
+    def test_from_points_prunes_interior(self):
+        poly = ConvexPolytope.from_points([[0, 0], [1, 0], [0, 1], [0.1, 0.1]])
+        assert poly.num_vertices == 3
+
+    def test_interval(self):
+        poly = ConvexPolytope.from_interval(-1.0, 2.0)
+        assert poly.dim == 1
+        assert poly.interval() == (-1.0, 2.0)
+
+    def test_interval_point(self):
+        poly = ConvexPolytope.from_interval(3.0, 3.0)
+        assert poly.is_point
+
+    def test_interval_order_check(self):
+        with pytest.raises(ValueError):
+            ConvexPolytope.from_interval(2.0, 1.0)
+
+    def test_singleton(self):
+        poly = ConvexPolytope.singleton([1.0, 2.0, 3.0])
+        assert poly.is_point and poly.dim == 3
+
+    def test_empty(self):
+        poly = ConvexPolytope.empty(2)
+        assert poly.is_empty
+        assert poly.affine_dim == -1
+
+    def test_empty_from_points_requires_dim(self):
+        with pytest.raises(ValueError):
+            ConvexPolytope.from_points(np.zeros((0, 0)))
+
+    def test_unit_cube(self):
+        cube = ConvexPolytope.unit_cube(3)
+        assert cube.num_vertices == 8
+        assert cube.volume() == pytest.approx(1.0)
+
+    def test_vertices_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.vertices[0, 0] = 99.0
+
+
+class TestQueries:
+    def test_contains_point(self, triangle):
+        assert triangle.contains_point([0.5, 0.5])
+        assert not triangle.contains_point([2.0, 2.0])
+
+    def test_distance_to_point(self, square):
+        assert square.distance_to_point([0.5, 0.5]) == pytest.approx(0.0, abs=1e-10)
+        assert square.distance_to_point([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_closest_point(self, square):
+        np.testing.assert_allclose(
+            square.closest_point_to([2.0, 0.5]), [1.0, 0.5], atol=1e-9
+        )
+
+    def test_support(self, square):
+        assert square.support([1.0, 0.0]) == pytest.approx(1.0)
+        assert square.support([-1.0, -1.0]) == pytest.approx(0.0)
+
+    def test_support_point(self, triangle):
+        p = triangle.support_point([1.0, 0.0])
+        np.testing.assert_allclose(p, [2.0, 0.0])
+
+    def test_support_dim_mismatch(self, triangle):
+        with pytest.raises(DimensionMismatchError):
+            triangle.support([1.0, 0.0, 0.0])
+
+    def test_bounding_box(self, triangle):
+        lo, hi = triangle.bounding_box
+        np.testing.assert_allclose(lo, [0.0, 0.0])
+        np.testing.assert_allclose(hi, [2.0, 2.0])
+
+    def test_diameter(self, square):
+        assert square.diameter == pytest.approx(np.sqrt(2.0))
+
+    def test_diameter_of_point(self):
+        assert ConvexPolytope.singleton([1.0]).diameter == 0.0
+
+    def test_centroid_inside(self, triangle):
+        assert triangle.contains_point(triangle.centroid)
+
+    def test_affine_dim(self):
+        seg = ConvexPolytope.from_points([[0, 0], [1, 1]])
+        assert seg.affine_dim == 1
+
+    def test_interval_requires_1d(self, triangle):
+        with pytest.raises(DimensionMismatchError):
+            triangle.interval()
+
+    def test_empty_operations_raise(self):
+        empty = ConvexPolytope.empty(2)
+        with pytest.raises(EmptyPolytopeError):
+            _ = empty.centroid
+        with pytest.raises(EmptyPolytopeError):
+            empty.support([1.0, 0.0])
+        with pytest.raises(EmptyPolytopeError):
+            empty.distance_to_point([0.0, 0.0])
+
+
+class TestTransformsAndRelations:
+    def test_translate(self, square):
+        moved = square.translate([10.0, 0.0])
+        assert moved.contains_point([10.5, 0.5])
+        assert not moved.contains_point([0.5, 0.5])
+
+    def test_scale_about_centroid(self, square):
+        shrunk = square.scale(0.5)
+        assert square.contains_polytope(shrunk)
+        assert shrunk.volume() == pytest.approx(0.25)
+
+    def test_contains_polytope(self, square):
+        inner = ConvexPolytope.from_points([[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]])
+        assert square.contains_polytope(inner)
+        assert not inner.contains_polytope(square)
+
+    def test_contains_empty(self, square):
+        assert square.contains_polytope(ConvexPolytope.empty(2))
+
+    def test_empty_contains_nothing(self, square):
+        assert not ConvexPolytope.empty(2).contains_polytope(square)
+
+    def test_approx_equal(self, square):
+        same = ConvexPolytope.from_points(square.vertices + 1e-12)
+        assert square.approx_equal(same)
+        assert not square.approx_equal(square.scale(0.9))
+
+    def test_approx_equal_empties(self):
+        assert ConvexPolytope.empty(2).approx_equal(ConvexPolytope.empty(2))
+
+    def test_dim_mismatch(self, square):
+        other = ConvexPolytope.from_interval(0, 1)
+        with pytest.raises(DimensionMismatchError):
+            square.contains_polytope(other)
+
+    def test_vertices_mixture(self, triangle):
+        p = triangle.sample_vertices_mixture([1 / 3, 1 / 3, 1 / 3])
+        assert triangle.contains_point(p)
+
+    def test_mixture_validates_weights(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.sample_vertices_mixture([0.5, 0.5])
+        with pytest.raises(ValueError):
+            triangle.sample_vertices_mixture([0.8, 0.8, -0.6])
+
+    def test_measure_of_flat_polytope(self):
+        seg = ConvexPolytope.from_points([[0, 0], [3, 4]])
+        assert seg.volume() == 0.0
+        assert seg.measure() == pytest.approx(5.0)

@@ -1,0 +1,142 @@
+"""Unit tests for simplex projection and hull projection (the QP solver)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.geometry.errors import EmptyPolytopeError
+from repro.geometry.projection import (
+    distance_to_hull,
+    point_in_hull,
+    project_onto_hull,
+    project_onto_simplex,
+)
+
+
+def _in_hull_lp(q, verts):
+    """Exact membership oracle via LP (independent of the code under test)."""
+    m = len(verts)
+    res = linprog(
+        np.zeros(m),
+        A_eq=np.vstack([np.asarray(verts).T, np.ones(m)]),
+        b_eq=np.concatenate([np.asarray(q, dtype=float), [1.0]]),
+        bounds=[(0, None)] * m,
+        method="highs",
+    )
+    return res.success
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex(self):
+        v = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_onto_simplex(v), v, atol=1e-12)
+
+    def test_output_is_stochastic(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = project_onto_simplex(rng.normal(size=7) * 3)
+            assert out.min() >= 0
+            assert out.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_single_coordinate(self):
+        assert project_onto_simplex(np.array([5.0])) == pytest.approx(1.0)
+
+    def test_dominant_coordinate(self):
+        out = project_onto_simplex(np.array([100.0, 0.0, 0.0]))
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_projection_optimality(self):
+        # The projection must be the closest simplex point: check against
+        # random feasible alternatives.
+        rng = np.random.default_rng(1)
+        v = rng.normal(size=5) * 2
+        proj = project_onto_simplex(v)
+        base = np.linalg.norm(proj - v)
+        for _ in range(100):
+            alt = rng.dirichlet(np.ones(5))
+            assert np.linalg.norm(alt - v) >= base - 1e-10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            project_onto_simplex(np.array([]))
+
+
+class TestProjectOntoHull:
+    def test_interior_point_maps_to_itself(self):
+        verts = np.array([[0, 0], [4, 0], [0, 4]], dtype=float)
+        proj, lam = project_onto_hull([1.0, 1.0], verts)
+        np.testing.assert_allclose(proj, [1.0, 1.0], atol=1e-9)
+        assert lam.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_vertex_maps_to_itself(self):
+        verts = np.array([[0, 0], [4, 0], [0, 4]], dtype=float)
+        proj, lam = project_onto_hull([4.0, 0.0], verts)
+        np.testing.assert_allclose(proj, [4.0, 0.0], atol=1e-12)
+
+    def test_outside_projects_to_face(self):
+        verts = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], dtype=float)
+        proj, _ = project_onto_hull([1.0, 5.0], verts)
+        np.testing.assert_allclose(proj, [1.0, 2.0], atol=1e-9)
+
+    def test_coefficients_reconstruct_projection(self):
+        rng = np.random.default_rng(2)
+        verts = rng.normal(size=(10, 3))
+        proj, lam = project_onto_hull(rng.normal(size=3) * 2, verts)
+        np.testing.assert_allclose(lam @ verts, proj, atol=1e-10)
+        assert lam.min() >= -1e-12
+
+    def test_exactness_against_lp_membership(self):
+        # Interior points (per LP oracle) must project to distance ~0;
+        # this is the regression test for the premature-FISTA-stop bug.
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            verts = rng.normal(size=(8, 2)) * 2
+            q = rng.normal(size=2)
+            inside = _in_hull_lp(q, verts)
+            dist = distance_to_hull(q, verts)
+            if inside:
+                assert dist < 1e-8
+            else:
+                assert dist > 0
+
+    def test_single_vertex(self):
+        proj, lam = project_onto_hull([5.0, 5.0], [[1.0, 1.0]])
+        np.testing.assert_allclose(proj, [1.0, 1.0])
+        assert lam == pytest.approx([1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPolytopeError):
+            project_onto_hull([0.0], np.zeros((0, 1)))
+
+    def test_distance_symmetry_of_segment(self):
+        verts = np.array([[-1.0, 0.0], [1.0, 0.0]])
+        assert distance_to_hull([0.0, 3.0], verts) == pytest.approx(3.0)
+        assert distance_to_hull([2.0, 0.0], verts) == pytest.approx(1.0)
+
+    def test_high_dim(self):
+        rng = np.random.default_rng(4)
+        verts = rng.normal(size=(20, 5))
+        q = verts.mean(axis=0)  # centroid is inside
+        assert distance_to_hull(q, verts) < 1e-8
+
+
+class TestPointInHull:
+    def test_inside(self):
+        verts = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        assert point_in_hull([0.2, 0.2], verts)
+
+    def test_outside(self):
+        verts = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        assert not point_in_hull([1.0, 1.0], verts)
+
+    def test_boundary_with_tolerance(self):
+        verts = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        assert point_in_hull([0.5, 0.5], verts, tol=1e-6)
+
+    def test_empty_vertex_set(self):
+        assert not point_in_hull([0.0], np.zeros((0, 1)))
+
+    def test_scale_awareness(self):
+        verts = np.array([[0, 0], [1e6, 0], [0, 1e6]], dtype=float)
+        assert point_in_hull([1e5, 1e5], verts)
+        assert not point_in_hull([1e6, 1e6], verts)

@@ -1,0 +1,68 @@
+"""Unit tests for deterministic polytope sampling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.errors import EmptyPolytopeError
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.sampling import (
+    sample_boundary_mixtures,
+    sample_in_polytope,
+    sample_on_vertices,
+    sample_outside_polytope,
+)
+
+
+@pytest.fixture
+def pentagon():
+    theta = np.linspace(0, 2 * np.pi, 6)[:-1]
+    return ConvexPolytope.from_points(np.column_stack([np.cos(theta), np.sin(theta)]))
+
+
+class TestInside:
+    def test_members(self, pentagon):
+        pts = sample_in_polytope(pentagon, 40, seed=1)
+        assert pts.shape == (40, 2)
+        for p in pts:
+            assert pentagon.contains_point(p, tol=1e-8)
+
+    def test_deterministic(self, pentagon):
+        a = sample_in_polytope(pentagon, 10, seed=5)
+        b = sample_in_polytope(pentagon, 10, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_points(self, pentagon):
+        a = sample_in_polytope(pentagon, 10, seed=1)
+        b = sample_in_polytope(pentagon, 10, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPolytopeError):
+            sample_in_polytope(ConvexPolytope.empty(2), 5)
+
+
+class TestBoundaryAndVertices:
+    def test_vertices_copy(self, pentagon):
+        verts = sample_on_vertices(pentagon)
+        assert verts.shape == pentagon.vertices.shape
+        verts[0, 0] = 99.0  # must not alias internal storage
+        assert pentagon.vertices[0, 0] != 99.0
+
+    def test_edge_mixtures_are_members(self, pentagon):
+        pts = sample_boundary_mixtures(pentagon, 30, seed=3)
+        for p in pts:
+            assert pentagon.contains_point(p, tol=1e-8)
+
+
+class TestOutside:
+    def test_strictly_outside(self, pentagon):
+        pts = sample_outside_polytope(pentagon, 20, distance=0.2, seed=2)
+        assert pts.shape == (20, 2)
+        for p in pts:
+            assert not pentagon.contains_point(p)
+
+    def test_point_polytope(self):
+        point = ConvexPolytope.singleton([0.0, 0.0])
+        pts = sample_outside_polytope(point, 5, distance=0.5, seed=1)
+        for p in pts:
+            assert np.linalg.norm(p) > 0.4

@@ -1,0 +1,82 @@
+"""Unit tests for Steiner points (the vector-consensus selector)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.errors import EmptyPolytopeError
+from repro.geometry.hausdorff import hausdorff_distance
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.steiner import (
+    steiner_lipschitz_bound,
+    steiner_point,
+)
+
+
+class TestBasics:
+    def test_point_polytope(self):
+        p = ConvexPolytope.singleton([3.0, 4.0])
+        np.testing.assert_allclose(steiner_point(p), [3.0, 4.0])
+
+    def test_interval_midpoint(self):
+        p = ConvexPolytope.from_interval(-2.0, 6.0)
+        assert steiner_point(p)[0] == pytest.approx(2.0)
+
+    def test_square_center(self):
+        p = ConvexPolytope.from_points([[0, 0], [2, 0], [2, 2], [0, 2]])
+        np.testing.assert_allclose(steiner_point(p), [1.0, 1.0], atol=1e-9)
+
+    def test_membership(self):
+        rng = np.random.default_rng(0)
+        for d in (1, 2, 3):
+            for seed in range(4):
+                p = ConvexPolytope.from_points(
+                    np.random.default_rng(seed).normal(size=(d + 4, d))
+                )
+                s = steiner_point(p)
+                assert p.contains_point(s, tol=1e-6), (d, seed)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPolytopeError):
+            steiner_point(ConvexPolytope.empty(2))
+
+
+class TestEquivariance:
+    def test_translation(self):
+        rng = np.random.default_rng(1)
+        for d in (2, 3):
+            p = ConvexPolytope.from_points(rng.normal(size=(d + 5, d)))
+            shift = rng.normal(size=d)
+            s0 = steiner_point(p)
+            s1 = steiner_point(p.translate(shift))
+            np.testing.assert_allclose(s1, s0 + shift, atol=1e-7)
+
+    def test_vertex_multiplicity_invariance(self):
+        # Unlike the vertex centroid, the Steiner point must not move when
+        # a vertex is (conceptually) duplicated — construct two polytopes
+        # with identical geometry but different generating point sets.
+        base = np.array([[0, 0], [4, 0], [0, 4]], dtype=float)
+        doubled = np.vstack([base, base[0] + 1e-13])
+        a = ConvexPolytope.from_points(base)
+        b = ConvexPolytope.from_points(doubled)
+        np.testing.assert_allclose(steiner_point(a), steiner_point(b), atol=1e-6)
+
+
+class TestLipschitz:
+    def test_bound_values(self):
+        assert steiner_lipschitz_bound(1) == pytest.approx(2.0)
+        assert steiner_lipschitz_bound(4) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            steiner_lipschitz_bound(0)
+
+    def test_lipschitz_on_random_pairs(self):
+        rng = np.random.default_rng(2)
+        for d in (1, 2, 3):
+            c_d = steiner_lipschitz_bound(d)
+            for _ in range(8):
+                pts = rng.normal(size=(d + 5, d))
+                a = ConvexPolytope.from_points(pts)
+                b = ConvexPolytope.from_points(
+                    pts + rng.normal(size=pts.shape) * 0.05
+                )
+                dist = np.linalg.norm(steiner_point(a) - steiner_point(b))
+                assert dist <= c_d * hausdorff_distance(a, b) + 1e-7

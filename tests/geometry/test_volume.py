@@ -1,0 +1,81 @@
+"""Unit tests for polytope volume / measure."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.volume import polytope_measure, polytope_volume, volume_ratio
+
+
+class TestVolume:
+    def test_interval_length(self):
+        poly = ConvexPolytope.from_interval(-1.0, 3.0)
+        assert polytope_volume(poly) == pytest.approx(4.0)
+
+    def test_square_area(self):
+        poly = ConvexPolytope.from_points([[0, 0], [2, 0], [2, 2], [0, 2]])
+        assert polytope_volume(poly) == pytest.approx(4.0)
+
+    def test_triangle_area(self):
+        poly = ConvexPolytope.from_points([[0, 0], [1, 0], [0, 1]])
+        assert polytope_volume(poly) == pytest.approx(0.5)
+
+    def test_cube_volume(self):
+        assert polytope_volume(ConvexPolytope.unit_cube(3)) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert polytope_volume(ConvexPolytope.empty(2)) == 0.0
+
+    def test_point_is_zero(self):
+        assert polytope_volume(ConvexPolytope.singleton([1.0, 1.0])) == 0.0
+
+    def test_flat_in_ambient_is_zero(self):
+        seg = ConvexPolytope.from_points([[0, 0], [1, 1]])
+        assert polytope_volume(seg) == 0.0
+
+    def test_scaling_law(self):
+        poly = ConvexPolytope.from_points(
+            np.random.default_rng(0).normal(size=(8, 2))
+        )
+        assert polytope_volume(poly.scale(2.0)) == pytest.approx(
+            4.0 * polytope_volume(poly), rel=1e-9
+        )
+
+
+class TestMeasure:
+    def test_full_dim_equals_volume(self):
+        poly = ConvexPolytope.from_points([[0, 0], [1, 0], [0, 1]])
+        assert polytope_measure(poly) == pytest.approx(polytope_volume(poly))
+
+    def test_segment_length_in_2d(self):
+        seg = ConvexPolytope.from_points([[0, 0], [3, 4]])
+        assert polytope_measure(seg) == pytest.approx(5.0)
+
+    def test_flat_triangle_in_3d(self):
+        tri = ConvexPolytope.from_points(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0]]
+        )
+        assert polytope_measure(tri) == pytest.approx(0.5)
+
+    def test_point_measure_zero(self):
+        assert polytope_measure(ConvexPolytope.singleton([1.0, 2.0])) == 0.0
+
+    def test_empty_measure_zero(self):
+        assert polytope_measure(ConvexPolytope.empty(3)) == 0.0
+
+
+class TestRatio:
+    def test_half(self):
+        outer = ConvexPolytope.from_points([[0, 0], [2, 0], [2, 2], [0, 2]])
+        inner = ConvexPolytope.from_points([[0, 0], [2, 0], [2, 1], [0, 1]])
+        assert volume_ratio(inner, outer) == pytest.approx(0.5)
+
+    def test_degenerate_pair_is_one(self):
+        a = ConvexPolytope.singleton([0.0, 0.0])
+        b = ConvexPolytope.singleton([1.0, 1.0])
+        assert volume_ratio(a, b) == 1.0
+
+    def test_positive_over_degenerate_is_inf(self):
+        inner = ConvexPolytope.from_points([[0, 0], [1, 0], [0, 1]])
+        outer = ConvexPolytope.singleton([0.0, 0.0])
+        assert volume_ratio(inner, outer) == float("inf")

@@ -1,0 +1,102 @@
+"""Tests for width / support-function metrics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.errors import DimensionMismatchError, EmptyPolytopeError
+from repro.geometry.operations import box, regular_polygon
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.width import (
+    aspect_ratio,
+    directional_width,
+    max_width,
+    mean_width_2d,
+    min_width,
+    perimeter_2d,
+)
+
+
+class TestDirectionalWidth:
+    def test_axis_aligned_box(self):
+        b = box([0, 0], [3, 1])
+        assert directional_width(b, [1, 0]) == pytest.approx(3.0)
+        assert directional_width(b, [0, 1]) == pytest.approx(1.0)
+
+    def test_direction_normalised(self):
+        b = box([0, 0], [3, 1])
+        assert directional_width(b, [10, 0]) == pytest.approx(3.0)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            directional_width(box([0, 0], [1, 1]), [0, 0])
+
+
+class TestMinMaxWidth:
+    def test_box(self):
+        b = box([0, 0], [3, 1])
+        assert min_width(b) == pytest.approx(1.0)
+        assert max_width(b) == pytest.approx(np.sqrt(10.0))
+
+    def test_equilateral_triangle(self):
+        tri = regular_polygon(3, radius=1.0)
+        # Height of an equilateral triangle inscribed in unit circle: 1.5.
+        assert min_width(tri) == pytest.approx(1.5, rel=1e-9)
+
+    def test_point(self):
+        assert min_width(ConvexPolytope.singleton([1.0, 2.0])) == 0.0
+
+    def test_interval(self):
+        iv = ConvexPolytope.from_interval(-2.0, 3.0)
+        assert min_width(iv) == pytest.approx(5.0)
+
+    def test_segment_in_plane(self):
+        seg = ConvexPolytope.from_points([[0, 0], [2, 0]])
+        assert min_width(seg) == 0.0
+        assert max_width(seg) == pytest.approx(2.0)
+
+    def test_3d_cube(self):
+        cube = ConvexPolytope.unit_cube(3)
+        w = min_width(cube, num_directions=4000, seed=1)
+        # sampled: upper bound of the true min width 1, within ~5%.
+        assert 0.99 <= w <= 1.1
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPolytopeError):
+            min_width(ConvexPolytope.empty(2))
+
+
+class TestPerimeter:
+    def test_square(self):
+        assert perimeter_2d(box([0, 0], [2, 2])) == pytest.approx(8.0)
+
+    def test_segment_double_length(self):
+        seg = ConvexPolytope.from_points([[0, 0], [3, 4]])
+        assert perimeter_2d(seg) == pytest.approx(10.0)
+
+    def test_point(self):
+        assert perimeter_2d(ConvexPolytope.singleton([0.0, 0.0])) == 0.0
+
+    def test_dim_check(self):
+        with pytest.raises(DimensionMismatchError):
+            perimeter_2d(ConvexPolytope.from_interval(0, 1))
+
+    def test_mean_width_of_disc_like(self):
+        # For a regular 64-gon ~ circle of radius r: mean width ~ 2r.
+        poly = regular_polygon(64, radius=1.0)
+        assert mean_width_2d(poly) == pytest.approx(2.0, rel=1e-2)
+
+
+class TestAspectRatio:
+    def test_square_is_balanced(self):
+        assert aspect_ratio(box([0, 0], [1, 1])) == pytest.approx(np.sqrt(2.0))
+
+    def test_sliver_is_elongated(self):
+        sliver = box([0, 0], [10, 0.1])
+        assert aspect_ratio(sliver) > 50
+
+    def test_flat_is_infinite(self):
+        seg = ConvexPolytope.from_points([[0, 0], [1, 0]])
+        assert aspect_ratio(seg) == float("inf")
+
+    def test_point_is_one(self):
+        assert aspect_ratio(ConvexPolytope.singleton([0.0, 0.0])) == 1.0

@@ -1,0 +1,63 @@
+"""Systematic crash/scheduler sweep: the paper's properties must hold in
+every cell of the (crash timing) x (scheduler) matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.invariants import check_all
+from repro.core.runner import run_convex_hull_consensus
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import (
+    BurstyScheduler,
+    FifoFairScheduler,
+    RandomScheduler,
+    TargetedDelayScheduler,
+)
+
+SCHEDULERS = {
+    "random": lambda: RandomScheduler(seed=5),
+    "fifo": lambda: FifoFairScheduler(),
+    "bursty": lambda: BurstyScheduler(seed=5),
+    "starve-victim": lambda: TargetedDelayScheduler(slow=frozenset({4}), seed=5),
+}
+
+CRASH_PLANS = {
+    "none": FaultPlan.none(),
+    "silent": FaultPlan.silent_faulty([4]),
+    "round0-early": FaultPlan.crash_at({4: (0, 0)}),
+    "round0-mid-broadcast": FaultPlan.crash_at({4: (0, 2)}),
+    "round1-mid-broadcast": FaultPlan.crash_at({4: (1, 1)}),
+    "round2": FaultPlan.crash_at({4: (2, 3)}),
+}
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(77)
+    pts = rng.uniform(-1.0, 1.0, size=(5, 1))
+    pts[4] = 0.95  # faulty holds an extreme (incorrect) input
+    return pts
+
+
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("plan_name", sorted(CRASH_PLANS))
+def test_cell(inputs, sched_name, plan_name):
+    result = run_convex_hull_consensus(
+        inputs,
+        1,
+        0.2,
+        fault_plan=CRASH_PLANS[plan_name],
+        scheduler=SCHEDULERS[sched_name](),
+        input_bounds=(-1.0, 1.0),
+    )
+    report = check_all(result.trace)
+    assert report.ok, (sched_name, plan_name)
+
+
+def test_crash_reduces_decided_count(inputs):
+    baseline = run_convex_hull_consensus(inputs, 1, 0.2, seed=1)
+    crashed = run_convex_hull_consensus(
+        inputs, 1, 0.2, fault_plan=CRASH_PLANS["round1-mid-broadcast"], seed=1
+    )
+    assert len(baseline.report.decided) == 5
+    assert len(crashed.report.decided) == 4

@@ -1,0 +1,55 @@
+"""Cross-runtime integration: discrete-event and asyncio agree on the
+paper's guarantees (not on exact interleavings, which differ by design)."""
+
+import numpy as np
+import pytest
+
+from repro.core.invariants import check_all
+from repro.core.matrix import verify_state_evolution
+from repro.core.runner import run_convex_hull_consensus
+from repro.runtime.asyncio_runtime import run_asyncio_consensus
+from repro.runtime.faults import FaultPlan
+
+
+@pytest.fixture(scope="module")
+def shared_inputs():
+    rng = np.random.default_rng(31)
+    return rng.uniform(-1.0, 1.0, size=(5, 1))
+
+
+class TestCrossRuntime:
+    def test_both_satisfy_invariants(self, shared_inputs):
+        de = run_convex_hull_consensus(shared_inputs, 1, 0.2, seed=3)
+        aio = run_asyncio_consensus(shared_inputs, 1, 0.2, seed=3)
+        assert check_all(de.trace).ok
+        assert check_all(aio.trace).ok
+
+    def test_same_t_end(self, shared_inputs):
+        de = run_convex_hull_consensus(shared_inputs, 1, 0.2, seed=3)
+        aio = run_asyncio_consensus(shared_inputs, 1, 0.2, seed=3)
+        assert de.config.t_end == aio.trace.t_end
+
+    def test_outputs_close_across_runtimes(self, shared_inputs):
+        """Both runtimes' outputs approximate the same ideal: they must be
+        within 2*eps of each other (each is within eps of its own peers
+        and both contain I_Z)."""
+        from repro.geometry.hausdorff import hausdorff_distance
+
+        eps = 0.2
+        de = run_convex_hull_consensus(shared_inputs, 1, eps, seed=3)
+        aio = run_asyncio_consensus(shared_inputs, 1, eps, seed=3)
+        de_out = next(iter(de.fault_free_outputs.values()))
+        aio_out = next(iter(aio.trace.fault_free_outputs().values()))
+        # Not a paper theorem, but both polytopes contain I_Z and are valid:
+        # sanity-bound their distance by the input spread.
+        spread = float(
+            np.linalg.norm(shared_inputs.max(0) - shared_inputs.min(0))
+        )
+        assert hausdorff_distance(de_out, aio_out) <= spread
+
+    def test_matrix_analysis_works_on_asyncio_traces(self, shared_inputs):
+        plan = FaultPlan.crash_at({4: (1, 2)})
+        aio = run_asyncio_consensus(
+            shared_inputs, 1, 0.3, fault_plan=plan, seed=5
+        )
+        assert verify_state_evolution(aio.trace).ok

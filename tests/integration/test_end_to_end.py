@@ -1,0 +1,94 @@
+"""End-to-end integration: every layer exercised in one flow."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FaultPlan,
+    QuadraticCost,
+    check_all,
+    run_convex_hull_consensus,
+    run_function_optimization,
+    run_vector_consensus,
+)
+from repro.analysis import convergence_series, cost_summary, output_size_report
+from repro.core.matrix import (
+    check_claim1,
+    ergodicity_coefficients,
+    reconstruct_transition_matrices,
+    verify_state_evolution,
+)
+from repro.runtime.faults import CrashSpec
+from repro.runtime.scheduler import TargetedDelayScheduler
+from repro.workloads import gaussian_cluster, with_outliers
+
+
+@pytest.fixture(scope="module")
+def full_pipeline_run():
+    """One adversarial run shared by the assertions below."""
+    inputs = with_outliers(
+        gaussian_cluster(9, 2, spread=0.6, seed=21), [7, 8], magnitude=4.0, seed=21
+    )
+    plan = FaultPlan(
+        faulty=frozenset({7, 8}),
+        crashes={7: CrashSpec(round_index=0, after_sends=5)},
+    )
+    sched = TargetedDelayScheduler(slow=frozenset({7, 8}), seed=13)
+    return run_convex_hull_consensus(
+        inputs, 2, 0.25, fault_plan=plan, scheduler=sched, input_bounds=(-5, 5)
+    )
+
+
+class TestFullPipeline:
+    def test_all_invariants(self, full_pipeline_run):
+        assert check_all(full_pipeline_run.trace).ok
+
+    def test_matrix_analysis_chain(self, full_pipeline_run):
+        trace = full_pipeline_run.trace
+        matrices = reconstruct_transition_matrices(trace)
+        assert verify_state_evolution(trace, matrices).ok
+        assert ergodicity_coefficients(trace, matrices).ok
+        assert check_claim1(trace, matrices)
+
+    def test_metrics_chain(self, full_pipeline_run):
+        trace = full_pipeline_run.trace
+        series = convergence_series(trace)
+        assert series.disagreement[-1] < trace.eps
+        sizes = output_size_report(trace)
+        assert sizes.min_ratio_vs_iz >= 1.0 - 1e-9
+        summary = cost_summary(trace)
+        assert summary.messages_sent > 0
+
+
+class TestDerivedProblems:
+    def test_vector_consensus_inherits_guarantees(self):
+        inputs = gaussian_cluster(8, 2, seed=22)
+        vc = run_vector_consensus(inputs, 1, eps=0.1, seed=5)
+        assert vc.max_pairwise_distance() < 0.1
+        assert check_all(vc.cc_result.trace).ok
+
+    def test_optimization_inherits_guarantees(self):
+        inputs = gaussian_cluster(8, 2, seed=23)
+        opt = run_function_optimization(
+            inputs, 1, beta=0.5, cost=QuadraticCost([0.0, 0.0]), seed=6
+        )
+        assert opt.cost_spread() < 0.5
+        assert check_all(opt.cc_result.trace).ok
+
+
+class TestDimensionSweep:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_minimum_configuration_per_dimension(self, d):
+        n = (d + 2) * 1 + 1
+        rng = np.random.default_rng(d)
+        inputs = rng.uniform(-1, 1, size=(n, d))
+        result = run_convex_hull_consensus(inputs, 1, 0.5, seed=d)
+        assert check_all(result.trace).ok
+
+    def test_f2_configuration(self):
+        n = (1 + 2) * 2 + 1  # d=1, f=2 -> 7
+        rng = np.random.default_rng(9)
+        inputs = rng.uniform(-1, 1, size=(n, 1))
+        plan = FaultPlan.crash_at({5: (0, 2), 6: (2, 1)})
+        result = run_convex_hull_consensus(inputs, 2, 0.2, fault_plan=plan, seed=2)
+        assert check_all(result.trace).ok

@@ -1,0 +1,95 @@
+"""Property-based end-to-end tests: paper guarantees under random adversaries.
+
+Each example draws inputs, a crash plan, and a scheduler seed, runs
+Algorithm CC, and checks Validity, epsilon-Agreement, Termination, and
+Lemma 6 containment.  This is the closest executable analogue of "for every
+execution" in the theorems.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.invariants import check_all
+from repro.core.matrix import ergodicity_coefficients, verify_state_evolution
+from repro.core.runner import run_convex_hull_consensus
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import (
+    BurstyScheduler,
+    RandomScheduler,
+    TargetedDelayScheduler,
+)
+
+
+def _scheduler(kind: int, seed: int, slow_pid: int):
+    if kind == 0:
+        return RandomScheduler(seed=seed)
+    if kind == 1:
+        return BurstyScheduler(seed=seed)
+    return TargetedDelayScheduler(slow=frozenset({slow_pid}), seed=seed)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    sched_kind=st.integers(0, 2),
+    crash_round=st.integers(0, 2),
+    crash_sends=st.integers(0, 6),
+    input_seed=st.integers(0, 1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_paper_properties_1d(seed, sched_kind, crash_round, crash_sends, input_seed):
+    n, f = 5, 1
+    rng = np.random.default_rng(input_seed)
+    inputs = rng.uniform(-1.0, 1.0, size=(n, 1))
+    plan = FaultPlan.crash_at({n - 1: (crash_round, crash_sends)})
+    result = run_convex_hull_consensus(
+        inputs,
+        f,
+        0.2,
+        fault_plan=plan,
+        scheduler=_scheduler(sched_kind, seed, n - 1),
+        input_bounds=(-1.0, 1.0),
+    )
+    report = check_all(result.trace)
+    assert report.validity.ok, report.validity.violations[:2]
+    assert report.agreement.ok
+    assert report.termination.ok
+    assert report.optimality.ok, report.optimality.violations[:2]
+    assert report.stable_vector.ok
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    sched_kind=st.integers(0, 2),
+    input_seed=st.integers(0, 1000),
+)
+@settings(max_examples=10, deadline=None)
+def test_paper_properties_2d(seed, sched_kind, input_seed):
+    n, f = 5, 1
+    rng = np.random.default_rng(input_seed)
+    inputs = rng.uniform(-1.0, 1.0, size=(n, 2))
+    plan = FaultPlan.silent_faulty([n - 1])
+    result = run_convex_hull_consensus(
+        inputs,
+        f,
+        0.5,
+        fault_plan=plan,
+        scheduler=_scheduler(sched_kind, seed, n - 1),
+        input_bounds=(-1.0, 1.0),
+    )
+    report = check_all(result.trace)
+    assert report.ok
+
+
+@given(seed=st.integers(0, 2**31 - 1), input_seed=st.integers(0, 500))
+@settings(max_examples=8, deadline=None)
+def test_matrix_representation_1d(seed, input_seed):
+    """Theorem 1 + Lemma 3 hold on randomly scheduled executions."""
+    rng = np.random.default_rng(input_seed)
+    inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+    plan = FaultPlan.crash_at({4: (1, seed % 5)})
+    result = run_convex_hull_consensus(
+        inputs, 1, 0.3, fault_plan=plan, scheduler=RandomScheduler(seed=seed)
+    )
+    assert verify_state_evolution(result.trace).ok
+    assert ergodicity_coefficients(result.trace).ok

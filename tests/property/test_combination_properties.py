@@ -1,0 +1,123 @@
+"""Property-based tests for the polytope combination L (Definition 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry.combination import linear_combination
+from repro.geometry.hausdorff import hausdorff_distance
+from repro.geometry.polytope import ConvexPolytope
+
+finite_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def polytope_list(draw, dim, min_polys=2, max_polys=4):
+    count = draw(st.integers(min_polys, max_polys))
+    polys = []
+    for _ in range(count):
+        m = draw(st.integers(1, 6))
+        pts = draw(
+            hnp.arrays(np.float64, (m, dim), elements=finite_floats)
+        )
+        polys.append(ConvexPolytope.from_points(pts))
+    return polys
+
+
+@st.composite
+def weights_for(draw, count):
+    raw = draw(
+        st.lists(
+            st.floats(0.01, 1.0, allow_nan=False), min_size=count, max_size=count
+        )
+    )
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class TestLProperties:
+    @given(st.integers(1, 3).flatmap(lambda d: polytope_list(d)), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_result_convex_nonempty(self, polys, data):
+        weights = data.draw(weights_for(len(polys)))
+        out = linear_combination(polys, weights)
+        assert not out.is_empty
+        assert out.dim == polys[0].dim
+
+    @given(st.integers(1, 3).flatmap(lambda d: polytope_list(d)), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_definition_membership(self, polys, data):
+        """Random mixtures sum(c_i p_i) with p_i in h_i land inside L."""
+        weights = data.draw(weights_for(len(polys)))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        out = linear_combination(polys, weights)
+        rng = np.random.default_rng(seed)
+        scale = max(
+            1.0, max(float(np.abs(p.vertices).max()) for p in polys)
+        )
+        for _ in range(10):
+            point = np.zeros(polys[0].dim)
+            for poly, c in zip(polys, weights):
+                lam = rng.dirichlet(np.ones(poly.num_vertices))
+                point += c * (lam @ poly.vertices)
+            assert out.contains_point(point, tol=1e-6)
+
+    @given(st.integers(1, 3).flatmap(lambda d: polytope_list(d, 2, 3)), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_support_function_linearity(self, polys, data):
+        """h_L(u) = sum c_i h_i(u): the Minkowski support identity."""
+        weights = data.draw(weights_for(len(polys)))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        out = linear_combination(polys, weights)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            u = rng.normal(size=polys[0].dim)
+            norm = np.linalg.norm(u)
+            if norm < 1e-9:
+                continue
+            u = u / norm
+            expected = sum(c * p.support(u) for p, c in zip(polys, weights))
+            assert out.support(u) == pytest.approx(expected, abs=1e-7)
+
+    @given(st.integers(1, 3).flatmap(lambda d: polytope_list(d, 2, 2)))
+    @settings(max_examples=40, deadline=None)
+    def test_commutativity(self, polys):
+        a = linear_combination(polys, [0.3, 0.7])
+        b = linear_combination(polys[::-1], [0.7, 0.3])
+        assert a.approx_equal(b, tol=1e-6)
+
+    @given(st.integers(1, 2).flatmap(lambda d: polytope_list(d, 3, 3)))
+    @settings(max_examples=30, deadline=None)
+    def test_associativity_via_nesting(self, polys):
+        """L(a,b,c; 1/3 each) == L(L(a,b; 1/2,1/2), c; 2/3, 1/3)."""
+        direct = linear_combination(polys, [1 / 3] * 3)
+        inner = linear_combination(polys[:2], [0.5, 0.5])
+        nested = linear_combination([inner, polys[2]], [2 / 3, 1 / 3])
+        assert direct.approx_equal(nested, tol=1e-6)
+
+    @given(st.integers(1, 3).flatmap(lambda d: polytope_list(d, 2, 3)), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_contraction_property(self, polys, data):
+        """d_H(L(P...), L(Q...)) <= max_i d_H(P_i, Q_i) — the geometric fact
+        behind the paper's convergence proof."""
+        weights = data.draw(weights_for(len(polys)))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        shifted = [
+            ConvexPolytope.from_points(
+                p.vertices + rng.uniform(-0.5, 0.5, size=p.dim)
+            )
+            for p in polys
+        ]
+        lhs = hausdorff_distance(
+            linear_combination(polys, weights),
+            linear_combination(shifted, weights),
+        )
+        rhs = max(
+            hausdorff_distance(p, q) for p, q in zip(polys, shifted)
+        )
+        assert lhs <= rhs + 1e-6

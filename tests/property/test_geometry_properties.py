@@ -1,0 +1,147 @@
+"""Property-based tests on the geometry substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry.hausdorff import hausdorff_distance
+from repro.geometry.hull import hull_vertices
+from repro.geometry.linalg import affine_rank
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.projection import (
+    distance_to_hull,
+    project_onto_hull,
+    project_onto_simplex,
+)
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def points_strategy(min_points=1, max_points=12, dims=(1, 2, 3)):
+    return st.integers(min_value=min(dims), max_value=max(dims)).flatmap(
+        lambda d: hnp.arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=min_points, max_value=max_points),
+                st.just(d),
+            ),
+            elements=finite_floats,
+        )
+    )
+
+
+class TestHullProperties:
+    @given(points_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_hull_vertices_subset_of_input(self, pts):
+        verts = hull_vertices(pts)
+        for v in verts:
+            dists = np.linalg.norm(pts - v, axis=1)
+            assert dists.min() < 1e-6 * max(1.0, np.abs(pts).max())
+
+    @given(points_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_hull_idempotent(self, pts):
+        once = hull_vertices(pts)
+        twice = hull_vertices(once)
+        assert once.shape[0] == twice.shape[0]
+
+    @given(points_strategy(min_points=2))
+    @settings(max_examples=60, deadline=None)
+    def test_all_inputs_inside_hull(self, pts):
+        verts = hull_vertices(pts)
+        scale = max(1.0, float(np.abs(pts).max()))
+        for p in pts:
+            assert distance_to_hull(p, verts) <= 1e-6 * scale
+
+    @given(points_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_affine_rank_preserved(self, pts):
+        verts = hull_vertices(pts)
+        assert affine_rank(verts) == affine_rank(pts)
+
+
+class TestSimplexProjectionProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=20),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_output_on_simplex(self, v):
+        out = project_onto_simplex(v)
+        assert out.min() >= -1e-12
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=10),
+            elements=finite_floats,
+        ),
+        st.integers(min_value=0, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_projection_beats_vertices(self, v, idx):
+        # The projection is at least as close as any simplex vertex.
+        out = project_onto_simplex(v)
+        e = np.zeros(v.size)
+        e[idx % v.size] = 1.0
+        assert np.linalg.norm(out - v) <= np.linalg.norm(e - v) + 1e-9
+
+
+class TestProjectionProperties:
+    @given(points_strategy(min_points=1, max_points=10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_projection_is_member_and_optimal_vs_vertices(self, verts, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.uniform(-100, 100, size=verts.shape[1])
+        proj, lam = project_onto_hull(q, verts)
+        scale = max(1.0, float(np.abs(verts).max()), float(np.abs(q).max()))
+        # Membership: projection equals its own convex combination.
+        np.testing.assert_allclose(lam @ verts, proj, atol=1e-8 * scale)
+        # Optimality vs every vertex.
+        best_vertex = min(np.linalg.norm(verts - q, axis=1))
+        assert np.linalg.norm(proj - q) <= best_vertex + 1e-7 * scale
+
+    @given(points_strategy(min_points=2, max_points=8))
+    @settings(max_examples=40, deadline=None)
+    def test_interior_mixtures_have_zero_distance(self, verts):
+        mix = verts.mean(axis=0)
+        scale = max(1.0, float(np.abs(verts).max()))
+        assert distance_to_hull(mix, verts) <= 1e-7 * scale
+
+
+class TestHausdorffProperties:
+    @given(
+        points_strategy(min_points=1, max_points=8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_translation_equivariance(self, pts, seed):
+        rng = np.random.default_rng(seed)
+        shift = rng.uniform(-10, 10, size=pts.shape[1])
+        a = ConvexPolytope.from_points(pts)
+        b = a.translate(shift)
+        expected = float(np.linalg.norm(shift))
+        assert hausdorff_distance(a, b) == pytest.approx(expected, abs=1e-6)
+
+    @given(points_strategy(min_points=1, max_points=8))
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, pts):
+        a = ConvexPolytope.from_points(pts)
+        assert hausdorff_distance(a, a) <= 1e-9
+
+    @given(points_strategy(min_points=2, max_points=8), st.floats(0.1, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_shrink_distance_bounded_by_diameter(self, pts, factor):
+        a = ConvexPolytope.from_points(pts)
+        assume(a.num_vertices >= 2)
+        b = a.scale(factor)
+        assert hausdorff_distance(a, b) <= a.diameter * (1 - factor) + 1e-7

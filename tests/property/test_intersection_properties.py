@@ -1,0 +1,126 @@
+"""Property-based tests for subset-hull intersections vs independent oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from itertools import combinations
+from scipy.optimize import linprog
+
+from repro.geometry.depth import tukey_depth
+from repro.geometry.intersection import (
+    intersect_subset_hulls,
+    subset_intersection_is_nonempty,
+)
+from repro.geometry.polytope import ConvexPolytope
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _in_hull_lp(q, verts):
+    m = len(verts)
+    res = linprog(
+        np.zeros(m),
+        A_eq=np.vstack([np.asarray(verts, dtype=float).T, np.ones(m)]),
+        b_eq=np.concatenate([np.asarray(q, dtype=float), [1.0]]),
+        bounds=[(0, None)] * m,
+        method="highs",
+    )
+    return res.success
+
+
+class TestSubsetIntersectionProperties:
+    @given(
+        hnp.arrays(np.float64, (6, 1), elements=finite_floats),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_1d_matches_order_statistics(self, pts, seed):
+        poly = intersect_subset_hulls(pts, f=1)
+        srt = np.sort(pts[:, 0])
+        if srt[4] < srt[1]:
+            assert poly.is_empty
+        else:
+            lo, hi = poly.interval()
+            assert lo == pytest.approx(srt[1], abs=1e-9)
+            assert hi == pytest.approx(srt[4], abs=1e-9)
+
+    @given(
+        hnp.arrays(np.float64, (6, 2), elements=finite_floats),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_2d_matches_lp_oracle(self, pts, seed):
+        poly = intersect_subset_hulls(pts, f=1)
+        rng = np.random.default_rng(seed)
+        scale = max(1.0, float(np.abs(pts).max()))
+        for _ in range(6):
+            q = rng.uniform(-10, 10, size=2)
+            expected = all(
+                _in_hull_lp(q, np.delete(pts, [k], axis=0)) for k in range(6)
+            )
+            got = (not poly.is_empty) and poly.contains_point(q, tol=1e-7)
+            if expected != got:
+                # Tolerate only boundary-grazing disagreements.
+                if not poly.is_empty:
+                    assert poly.distance_to_point(q) < 1e-5 * scale
+                else:
+                    pytest.fail("empty polytope but LP found a member")
+
+    @given(hnp.arrays(np.float64, (7, 2), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_f(self, pts):
+        """More faults tolerated => smaller intersection."""
+        p1 = intersect_subset_hulls(pts, f=1)
+        p2 = intersect_subset_hulls(pts, f=2)
+        if p2.is_empty:
+            return
+        assert p1.contains_polytope(p2, tol=1e-6)
+
+    @given(hnp.arrays(np.float64, (5, 2), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_observation2_monotone_in_points(self, pts):
+        """Paper Appendix D Observation 2: A subset of B => h_A inside h_B."""
+        sub = pts[:4]
+        h_a = intersect_subset_hulls(sub, f=1)
+        h_b = intersect_subset_hulls(pts, f=1)
+        if h_a.is_empty:
+            return
+        # Containment up to boundary fuzz: near-degenerate configurations
+        # (hypothesis loves coordinates like 1e-7) can graze tolerances,
+        # so accept vertices within a scaled boundary band of h_b.
+        scale = max(1.0, float(np.abs(pts).max()))
+        assert not h_b.is_empty
+        for v in h_a.vertices:
+            assert h_b.distance_to_point(v) <= 1e-5 * scale
+
+    @given(hnp.arrays(np.float64, (6, 2), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_vertices_have_depth_f_plus_1(self, pts):
+        """Cross-validation with Tukey depth: members have depth >= f+1."""
+        poly = intersect_subset_hulls(pts, f=1)
+        if poly.is_empty:
+            return
+        # Probe the centroid (strictly inside up to degeneracy).
+        c = poly.centroid
+        assert tukey_depth(c, pts) >= 2
+
+    @given(hnp.arrays(np.float64, (7, 3), elements=finite_floats))
+    @settings(max_examples=15, deadline=None)
+    def test_tverberg_nonemptiness_3d(self, pts):
+        """m = 7 >= (d+1)f+1 = 4 for d=3, f=1: never empty (Lemma 2)."""
+        assert subset_intersection_is_nonempty(pts, 1)
+        assert not intersect_subset_hulls(pts, 1).is_empty
+
+    @given(hnp.arrays(np.float64, (6, 2), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_contained_in_every_drop1_hull(self, pts):
+        poly = intersect_subset_hulls(pts, f=1)
+        if poly.is_empty:
+            return
+        for k in range(6):
+            outer = ConvexPolytope.from_points(np.delete(pts, [k], axis=0))
+            assert outer.contains_polytope(poly, tol=1e-6)

@@ -1,0 +1,54 @@
+"""Property-based tests for the lockstep runtime across crash patterns."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.invariants import check_all
+from repro.runtime.faults import FaultPlan
+from repro.runtime.lockstep import run_lockstep_consensus
+
+
+@given(
+    input_seed=st.integers(0, 500),
+    crash_round=st.integers(0, 2),
+    crash_sends=st.integers(0, 8),
+)
+@settings(max_examples=20, deadline=None)
+def test_lockstep_paper_properties_under_crashes(
+    input_seed, crash_round, crash_sends
+):
+    rng = np.random.default_rng(input_seed)
+    inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+    plan = FaultPlan.crash_at({4: (crash_round, crash_sends)})
+    result = run_lockstep_consensus(
+        inputs, 1, 0.25, fault_plan=plan, input_bounds=(-1.0, 1.0)
+    )
+    report = check_all(result.trace)
+    assert report.ok, (input_seed, crash_round, crash_sends)
+
+
+@given(input_seed=st.integers(0, 500))
+@settings(max_examples=15, deadline=None)
+def test_lockstep_bitwise_determinism(input_seed):
+    rng = np.random.default_rng(input_seed)
+    inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+    a = run_lockstep_consensus(inputs, 1, 0.3)
+    b = run_lockstep_consensus(inputs, 1, 0.3)
+    assert a.trace.messages_sent == b.trace.messages_sent
+    for pid in a.outputs:
+        np.testing.assert_array_equal(
+            a.outputs[pid].vertices, b.outputs[pid].vertices
+        )
+
+
+@given(input_seed=st.integers(0, 300))
+@settings(max_examples=10, deadline=None)
+def test_lockstep_outputs_equal_everywhere(input_seed):
+    """Zero skew + identical views => all fault-free decisions identical."""
+    rng = np.random.default_rng(input_seed)
+    inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+    result = run_lockstep_consensus(inputs, 1, 0.3)
+    outputs = list(result.fault_free_outputs.values())
+    for other in outputs[1:]:
+        assert outputs[0].approx_equal(other, tol=1e-12)

@@ -1,0 +1,120 @@
+"""Property-based tests for the polytope-operations API and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry.hausdorff import hausdorff_distance
+from repro.geometry.operations import (
+    dilate,
+    interpolate,
+    intersect_polytopes,
+    minkowski_sum,
+)
+from repro.geometry.polytope import ConvexPolytope
+
+finite_floats = st.floats(
+    min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def polytope(draw, dim=2, max_points=8):
+    m = draw(st.integers(1, max_points))
+    pts = draw(hnp.arrays(np.float64, (m, dim), elements=finite_floats))
+    return ConvexPolytope.from_points(pts)
+
+
+class TestMinkowskiProperties:
+    @given(polytope(), polytope())
+    @settings(max_examples=40, deadline=None)
+    def test_commutative(self, a, b):
+        ab = minkowski_sum(a, b)
+        ba = minkowski_sum(b, a)
+        assert ab.approx_equal(ba, tol=1e-7)
+
+    @given(polytope(), polytope())
+    @settings(max_examples=40, deadline=None)
+    def test_support_additivity(self, a, b):
+        out = minkowski_sum(a, b)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            u = rng.normal(size=2)
+            u /= max(np.linalg.norm(u), 1e-12)
+            assert out.support(u) == pytest.approx(
+                a.support(u) + b.support(u), abs=1e-7
+            )
+
+    @given(polytope())
+    @settings(max_examples=30, deadline=None)
+    def test_identity_element(self, a):
+        zero = ConvexPolytope.singleton([0.0, 0.0])
+        assert minkowski_sum(a, zero).approx_equal(a, tol=1e-9)
+
+
+class TestIntersectionProperties:
+    @given(polytope(), polytope())
+    @settings(max_examples=40, deadline=None)
+    def test_contained_in_both(self, a, b):
+        out = intersect_polytopes([a, b])
+        if out.is_empty:
+            return
+        scale = max(1.0, float(np.abs(a.vertices).max()),
+                    float(np.abs(b.vertices).max()))
+        for v in out.vertices:
+            assert a.distance_to_point(v) <= 1e-6 * scale
+            assert b.distance_to_point(v) <= 1e-6 * scale
+
+    @given(polytope())
+    @settings(max_examples=30, deadline=None)
+    def test_self_intersection_identity(self, a):
+        out = intersect_polytopes([a, a])
+        assert out.approx_equal(a, tol=1e-5)
+
+    @given(polytope(), st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_shrunk_copy_intersects_to_shrunk(self, a, factor):
+        inner = a.scale(factor)
+        out = intersect_polytopes([a, inner])
+        # Compare metrically, not structurally: adversarially thin shapes
+        # can collapse to a lower affine rank on one side of the rank
+        # tolerance while the intersection keeps the sliver.
+        from repro.geometry.hausdorff import hausdorff_distance
+
+        assert not out.is_empty
+        scale = max(1.0, float(np.abs(a.vertices).max()))
+        assert hausdorff_distance(out, inner) <= 1e-5 * scale
+
+
+class TestInterpolateProperties:
+    @given(polytope(), polytope(), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_hausdorff_along_path(self, a, b, t):
+        """d_H(a, interp(t)) <= t * d_H(a, b): L-paths are geodesic-like."""
+        mid = interpolate(a, b, t)
+        total = hausdorff_distance(a, b)
+        assert hausdorff_distance(a, mid) <= t * total + 1e-6
+
+    @given(polytope(), st.floats(0.1, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_dilate_scales_support(self, a, factor):
+        out = dilate(a, factor)
+        rng = np.random.default_rng(1)
+        u = rng.normal(size=2)
+        u /= max(np.linalg.norm(u), 1e-12)
+        assert out.support(u) == pytest.approx(factor * a.support(u), abs=1e-7)
+
+
+class TestSerializationProperties:
+    @given(polytope(dim=2), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_polytope_roundtrip_via_dict(self, poly, seed):
+        from repro.analysis.serialization import (
+            _polytope_from_obj,
+            _polytope_to_obj,
+        )
+
+        rebuilt = _polytope_from_obj(_polytope_to_obj(poly))
+        assert rebuilt.approx_equal(poly, tol=1e-9)

@@ -1,0 +1,40 @@
+"""Tests for the asyncio runtime — same protocols, live coroutines."""
+
+import numpy as np
+import pytest
+
+from repro.core.invariants import check_agreement, check_validity
+from repro.runtime.asyncio_runtime import run_asyncio_consensus
+from repro.runtime.faults import FaultPlan
+
+
+class TestAsyncioConsensus:
+    def test_fault_free_run_decides(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.uniform(-1, 1, size=(5, 1))
+        result = run_asyncio_consensus(inputs, 1, 0.2, seed=1)
+        assert sorted(result.report.decided) == [0, 1, 2, 3, 4]
+        assert check_agreement(result.trace).ok
+        assert check_validity(result.trace).ok
+
+    def test_crash_mid_broadcast(self):
+        rng = np.random.default_rng(1)
+        inputs = rng.uniform(-1, 1, size=(5, 1))
+        plan = FaultPlan.crash_at({4: (0, 2)})
+        result = run_asyncio_consensus(inputs, 1, 0.2, fault_plan=plan, seed=2)
+        assert 4 in result.report.crashed
+        assert sorted(result.report.decided) == [0, 1, 2, 3]
+        assert check_validity(result.trace).ok
+
+    def test_2d_run(self):
+        rng = np.random.default_rng(2)
+        inputs = rng.uniform(-1, 1, size=(5, 1))
+        result = run_asyncio_consensus(inputs, 1, 0.3, seed=3, max_delay=0.0005)
+        agreement = check_agreement(result.trace)
+        assert agreement.disagreement < result.config.eps
+
+    def test_zero_delay_still_works(self):
+        rng = np.random.default_rng(3)
+        inputs = rng.uniform(-1, 1, size=(5, 1))
+        result = run_asyncio_consensus(inputs, 1, 0.5, seed=4, max_delay=0.0)
+        assert len(result.report.decided) == 5

@@ -1,0 +1,52 @@
+"""Unit tests for the standalone channel contract."""
+
+import pytest
+
+from repro.runtime.channel import Channel, ChannelError
+from repro.runtime.messages import InputTuple, SVInit
+
+
+def _payload(i=0):
+    return SVInit(entry=InputTuple(value=(float(i),), sender=0))
+
+
+class TestChannel:
+    def test_enqueue_assigns_sequential_seqs(self):
+        ch = Channel(src=0, dst=1)
+        envs = [ch.enqueue(_payload(i), send_round=0) for i in range(4)]
+        assert [e.seq for e in envs] == [0, 1, 2, 3]
+
+    def test_depth_and_head(self):
+        ch = Channel(src=0, dst=1)
+        assert not ch.has_pending
+        assert ch.depth == 0
+        ch.enqueue(_payload(), send_round=0)
+        ch.enqueue(_payload(1), send_round=0)
+        assert ch.depth == 2
+        assert ch.head.seq == 0
+
+    def test_fifo_delivery(self):
+        ch = Channel(src=0, dst=1)
+        for i in range(3):
+            ch.enqueue(_payload(i), send_round=i)
+        delivered = [ch.deliver_head().seq for _ in range(3)]
+        assert delivered == [0, 1, 2]
+        assert not ch.has_pending
+
+    def test_exactly_once_guard(self):
+        ch = Channel(src=0, dst=1)
+        ch.enqueue(_payload(), send_round=0)
+        ch.deliver_head()
+        # Forge an out-of-order envelope into the queue: must be caught.
+        ch._queue.appendleft(
+            ch.enqueue(_payload(9), send_round=0)
+        )
+        with pytest.raises(ChannelError):
+            ch.deliver_head()
+            ch.deliver_head()
+
+    def test_send_round_recorded(self):
+        ch = Channel(src=2, dst=3)
+        env = ch.enqueue(_payload(), send_round=5)
+        assert env.send_round == 5
+        assert env.src == 2 and env.dst == 3

@@ -1,0 +1,68 @@
+"""Unit tests for the reliable-FIFO-exactly-once network fabric."""
+
+import pytest
+
+from repro.runtime.messages import InputTuple, SVInit
+from repro.runtime.network import ChannelError, Network
+
+
+def _payload(i=0):
+    return SVInit(entry=InputTuple(value=(float(i),), sender=0))
+
+
+class TestNetwork:
+    def test_send_and_deliver(self):
+        net = Network(3)
+        net.send(0, 1, _payload(), send_round=0)
+        heads = net.pending_heads({0, 1, 2})
+        assert len(heads) == 1
+        env = net.deliver(heads[0])
+        assert env.src == 0 and env.dst == 1
+        assert net.undelivered == 0
+
+    def test_fifo_order_per_channel(self):
+        net = Network(2)
+        for i in range(5):
+            net.send(0, 1, _payload(i), send_round=0)
+        seqs = []
+        while True:
+            heads = net.pending_heads({0, 1})
+            if not heads:
+                break
+            env = net.deliver(heads[0])
+            seqs.append(env.seq)
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_self_send_rejected(self):
+        net = Network(2)
+        with pytest.raises(ChannelError):
+            net.send(1, 1, _payload(), send_round=0)
+
+    def test_heads_exclude_dead_destinations(self):
+        net = Network(3)
+        net.send(0, 1, _payload(), send_round=0)
+        net.send(0, 2, _payload(), send_round=0)
+        heads = net.pending_heads({0, 2})
+        assert all(env.dst == 2 for env in heads)
+
+    def test_deliver_non_head_rejected(self):
+        net = Network(2)
+        net.send(0, 1, _payload(0), send_round=0)
+        net.send(0, 1, _payload(1), send_round=0)
+        heads = net.pending_heads({0, 1})
+        env0 = net.deliver(heads[0])
+        assert env0.seq == 0
+        # Grab the new head, then try to re-deliver a stale envelope object.
+        with pytest.raises(ChannelError):
+            net.deliver(env0)
+
+    def test_counters(self):
+        net = Network(4)
+        for dst in (1, 2, 3):
+            net.send(0, dst, _payload(), send_round=1)
+        assert net.messages_sent == 3
+        assert net.undelivered == 3
+
+    def test_needs_processes(self):
+        with pytest.raises(ValueError):
+            Network(0)

@@ -1,0 +1,93 @@
+"""Unit tests for adversarial delivery schedulers."""
+
+import numpy as np
+
+from repro.runtime.messages import Envelope, InputTuple, SVInit
+from repro.runtime.scheduler import (
+    BurstyScheduler,
+    FifoFairScheduler,
+    RandomScheduler,
+    TargetedDelayScheduler,
+    default_scheduler,
+)
+
+
+def _env(src, dst=1):
+    return Envelope(
+        src=src,
+        dst=dst,
+        seq=0,
+        send_round=0,
+        payload=SVInit(entry=InputTuple(value=(0.0,), sender=src)),
+    )
+
+
+class TestRandomScheduler:
+    def test_in_range(self):
+        sched = RandomScheduler(seed=0)
+        heads = [_env(0), _env(2), _env(3)]
+        for _ in range(50):
+            assert 0 <= sched.choose(heads) < 3
+
+    def test_deterministic_after_reset(self):
+        sched = RandomScheduler(seed=1)
+        heads = [_env(i) for i in range(5)]
+        first = [sched.choose(heads) for _ in range(20)]
+        sched.reset()
+        second = [sched.choose(heads) for _ in range(20)]
+        assert first == second
+
+    def test_covers_all_choices(self):
+        sched = RandomScheduler(seed=2)
+        heads = [_env(i) for i in range(4)]
+        seen = {sched.choose(heads) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestFifoFair:
+    def test_round_robin(self):
+        sched = FifoFairScheduler()
+        heads = [_env(2, 0), _env(0, 1), _env(1, 2)]
+        picks = [sched.choose(heads) for _ in range(3)]
+        # Sorted by (src, dst): env(0,1)=idx1, env(1,2)=idx2, env(2,0)=idx0.
+        assert picks == [1, 2, 0]
+
+
+class TestTargetedDelay:
+    def test_starves_slow_sources(self):
+        sched = TargetedDelayScheduler(slow=frozenset({9}), seed=0)
+        heads = [_env(9), _env(1), _env(9), _env(2)]
+        for _ in range(100):
+            pick = sched.choose(heads)
+            assert heads[pick].src != 9
+
+    def test_delivers_slow_when_nothing_else(self):
+        sched = TargetedDelayScheduler(slow=frozenset({9}), seed=0)
+        heads = [_env(9), _env(9)]
+        assert sched.choose(heads) in (0, 1)
+
+    def test_accepts_any_iterable(self):
+        sched = TargetedDelayScheduler(slow={1, 2}, seed=0)
+        assert isinstance(sched.slow, frozenset)
+
+
+class TestBursty:
+    def test_sticks_to_one_source_within_burst(self):
+        sched = BurstyScheduler(seed=3, max_burst=100)
+        heads = [_env(0), _env(1), _env(2)]
+        first = heads[sched.choose(heads)].src
+        # With a huge burst size the immediate next picks stay on the source.
+        for _ in range(5):
+            assert heads[sched.choose(heads)].src == first
+
+    def test_reset_restores_determinism(self):
+        sched = BurstyScheduler(seed=4)
+        heads = [_env(i) for i in range(3)]
+        a = [sched.choose(heads) for _ in range(30)]
+        sched.reset()
+        b = [sched.choose(heads) for _ in range(30)]
+        assert a == b
+
+
+def test_default_scheduler_is_random():
+    assert isinstance(default_scheduler(seed=1), RandomScheduler)

@@ -1,0 +1,73 @@
+"""Unit tests for the discrete-event simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm_cc import CCProcess
+from repro.core.config import CCConfig
+from repro.runtime.faults import FaultPlan
+from repro.runtime.scheduler import FifoFairScheduler, RandomScheduler
+from repro.runtime.simulator import SimulationError, run_simulation
+
+
+def make_cores(n=5, d=1, f=1, eps=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    inputs = rng.uniform(-1, 1, size=(n, d))
+    config = CCConfig(
+        n=n, f=f, dim=d, eps=eps, input_lower=-1.0, input_upper=1.0
+    )
+    return [
+        CCProcess(pid=i, config=config, input_point=inputs[i])
+        for i in range(n)
+    ], config
+
+
+class TestRunSimulation:
+    def test_all_decide_fault_free(self):
+        cores, _ = make_cores()
+        report = run_simulation(cores)
+        assert sorted(report.decided) == [0, 1, 2, 3, 4]
+        assert not report.crashed
+        assert report.messages_delivered <= report.messages_sent
+
+    def test_determinism(self):
+        cores_a, _ = make_cores(seed=3)
+        cores_b, _ = make_cores(seed=3)
+        rep_a = run_simulation(cores_a, scheduler=RandomScheduler(seed=1))
+        rep_b = run_simulation(cores_b, scheduler=RandomScheduler(seed=1))
+        assert rep_a.delivery_steps == rep_b.delivery_steps
+        for a, b in zip(cores_a, cores_b):
+            assert a.output.approx_equal(b.output)
+
+    def test_different_schedule_still_decides(self):
+        cores, _ = make_cores(seed=4)
+        report = run_simulation(cores, scheduler=FifoFairScheduler())
+        assert len(report.decided) == 5
+
+    def test_crash_plan_applied(self):
+        cores, _ = make_cores()
+        plan = FaultPlan.crash_at({4: (1, 2)})
+        report = run_simulation(cores, fault_plan=plan)
+        assert report.crashed == [4]
+        assert sorted(report.decided) == [0, 1, 2, 3]
+
+    def test_max_steps_guard(self):
+        cores, _ = make_cores()
+        with pytest.raises(SimulationError):
+            run_simulation(cores, max_steps=3)
+
+    def test_trace_accounting_propagates(self):
+        cores, _ = make_cores()
+        plan = FaultPlan.crash_at({4: (0, 1)})
+        run_simulation(cores, fault_plan=plan)
+        assert cores[4].trace.crash_fired_round == 0
+        assert cores[0].trace.crash_fired_round is None
+        assert cores[0].trace.sends_in_round[0] > 0
+
+    def test_undelivered_messages_allowed_at_quiescence(self):
+        # Messages addressed to crashed processes stay queued; that must
+        # not prevent termination.
+        cores, _ = make_cores()
+        plan = FaultPlan.crash_at({4: (0, 0)})
+        report = run_simulation(cores, fault_plan=plan)
+        assert report.messages_delivered <= report.messages_sent

@@ -1,0 +1,118 @@
+"""Unit tests for the stable-vector engine (state machine level)."""
+
+import pytest
+
+from repro.runtime.messages import InputTuple, SVView
+from repro.runtime.stable_vector import StableVectorEngine
+
+
+def make_engines(n, f):
+    return [
+        StableVectorEngine(
+            pid=i, n=n, f=f, entry=InputTuple(value=(float(i),), sender=i)
+        )
+        for i in range(n)
+    ]
+
+
+def drive_to_completion(engines):
+    """Synchronously flood all broadcasts until quiescence."""
+    pending = []
+    for engine in engines:
+        for payload in engine.start():
+            pending.append((engine.pid, payload))
+    guard = 0
+    while pending:
+        guard += 1
+        assert guard < 100_000, "stable vector did not quiesce"
+        src, payload = pending.pop(0)
+        for engine in engines:
+            if engine.pid == src:
+                continue
+            if isinstance(payload, SVView):
+                out = engine.on_view(payload, src)
+            else:
+                out = engine.on_init(payload, src)
+            for echo in out:
+                pending.append((engine.pid, echo))
+
+
+class TestBasics:
+    def test_requires_quorum_size(self):
+        with pytest.raises(ValueError):
+            StableVectorEngine(pid=0, n=2, f=1, entry=InputTuple((0.0,), 0))
+
+    def test_single_process(self):
+        engine = StableVectorEngine(pid=0, n=1, f=0, entry=InputTuple((0.0,), 0))
+        engine.start()
+        assert engine.result is not None
+        assert len(engine.result) == 1
+
+    def test_all_complete_without_faults(self):
+        engines = make_engines(4, 1)
+        drive_to_completion(engines)
+        for engine in engines:
+            assert engine.result is not None
+            assert len(engine.result) >= 3  # n - f
+
+    def test_full_view_when_everyone_participates(self):
+        engines = make_engines(5, 1)
+        drive_to_completion(engines)
+        # Synchronous flooding delivers everything: all views are complete.
+        for engine in engines:
+            assert len(engine.result) == 5
+
+    def test_result_set_once(self):
+        engines = make_engines(4, 1)
+        drive_to_completion(engines)
+        first = engines[0].result
+        # More traffic must not change the returned result object.
+        engines[0].on_view(SVView(entries=first), src=1)
+        assert engines[0].result == first
+
+
+class TestPartialParticipation:
+    def test_crashed_initiator_before_sending(self):
+        # Engine 3 never starts (crashed before round 0): others must
+        # still stabilise on an (n-f)-sized view.
+        engines = make_engines(4, 1)
+        live = engines[:3]
+        pending = []
+        for engine in live:
+            for payload in engine.start():
+                pending.append((engine.pid, payload))
+        guard = 0
+        while pending:
+            guard += 1
+            assert guard < 100_000
+            src, payload = pending.pop(0)
+            for engine in live:
+                if engine.pid == src:
+                    continue
+                out = (
+                    engine.on_view(payload, src)
+                    if isinstance(payload, SVView)
+                    else engine.on_init(payload, src)
+                )
+                pending.extend((engine.pid, echo) for echo in out)
+        for engine in live:
+            assert engine.result is not None
+            assert len(engine.result) == 3
+
+    def test_view_monotonicity(self):
+        engine = StableVectorEngine(pid=0, n=4, f=1, entry=InputTuple((0.0,), 0))
+        engine.start()
+        sizes = [engine.view_size]
+        for j in range(1, 4):
+            entries = frozenset(
+                InputTuple((float(k),), k) for k in range(j + 1)
+            )
+            engine.on_view(SVView(entries=entries), src=j)
+            sizes.append(engine.view_size)
+        assert sizes == sorted(sizes)
+
+    def test_no_premature_stability(self):
+        # With only its own entry the engine must not return.
+        engine = StableVectorEngine(pid=0, n=4, f=1, entry=InputTuple((0.0,), 0))
+        engine.start()
+        assert engine.result is None

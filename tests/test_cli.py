@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENT_INDEX, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_crash_spec_parsing(self):
+        args = build_parser().parse_args(
+            ["consensus", "--crash", "4:1:2", "--crash", "3:0:0"]
+        )
+        assert args.crash == [(4, (1, 2)), (3, (0, 0))]
+
+    def test_bad_crash_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["consensus", "--crash", "4:1"])
+
+
+class TestCommands:
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "outlier-attack" in out
+        assert "view-split" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for eid in EXPERIMENT_INDEX:
+            assert eid in out
+
+    def test_consensus_roundtrip(self, capsys, tmp_path):
+        dump = tmp_path / "t.json"
+        code = main(
+            [
+                "consensus",
+                "--n", "5", "--d", "1", "--eps", "0.3", "--seed", "1",
+                "--crash", "4:1:2",
+                "--dump", str(dump),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decisions" in out
+        assert "paper properties" in out
+        assert dump.exists()
+        assert main(["verify", str(dump), "--no-matrix"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_scenario_run(self, capsys):
+        assert main(["scenario", "view-split", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions" in out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["scenario", "nope"]) == 2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["consensus", "--workload", "nope"])
+
+    def test_consensus_with_matrix_checks(self, capsys):
+        code = main(
+            ["consensus", "--n", "5", "--d", "1", "--eps", "0.4",
+             "--seed", "2", "--matrix"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "theorem1-evolution" in out
+        assert "lemma3-ergodicity" in out
+        assert "claim1-columns" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "view-split", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep of 'view-split'" in out
+        assert "ALL" in out
+
+    def test_sweep_unknown_scenario(self, capsys):
+        assert main(["sweep", "nope"]) == 2
+
+    def test_consensus_identical_workload(self, capsys):
+        code = main(
+            ["consensus", "--n", "5", "--d", "1", "--eps", "0.5",
+             "--workload", "identical"]
+        )
+        assert code == 0

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts must run and uphold their own asserts.
+
+The examples double as executable documentation; each carries internal
+assertions (validity, agreement, optimality), so a bare successful run is
+a meaningful check.  Only the fast examples run here — the fault-injection
+lab (~1 min) is exercised by its building blocks throughout the suite.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", capsys)
+        assert "All guarantees hold." in out
+        assert "t_end" in out
+
+    def test_sensor_fusion(self, capsys):
+        out = _run_example("sensor_fusion.py", capsys)
+        assert "No miscalibrated measurement influenced any feasible region." in out
+        assert "certified-valid=True" in out
+
+    def test_distributed_optimization(self, capsys):
+        out = _run_example("distributed_optimization.py", capsys)
+        assert "weak beta-optimality holds for both costs." in out
+
+    def test_trace_forensics(self, capsys):
+        out = _run_example("trace_forensics.py", capsys)
+        assert "forensics complete" in out
+        assert "decided region" in out
+
+    def test_examples_directory_complete(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "sensor_fusion.py",
+            "distributed_optimization.py",
+            "fault_injection_lab.py",
+            "trace_forensics.py",
+        } <= names

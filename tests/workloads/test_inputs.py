@@ -1,0 +1,71 @@
+"""Tests for workload input generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.linalg import affine_rank
+from repro.workloads import (
+    binary_line,
+    collinear,
+    gaussian_cluster,
+    identical,
+    majority_identical,
+    simplex_corners,
+    two_clusters,
+    uniform_box,
+    with_outliers,
+)
+
+
+class TestGenerators:
+    def test_shapes(self):
+        assert gaussian_cluster(7, 3, seed=0).shape == (7, 3)
+        assert uniform_box(5, 2, seed=0).shape == (5, 2)
+        assert simplex_corners(9, 2).shape == (9, 2)
+        assert collinear(6, 4, seed=0).shape == (6, 4)
+        assert identical(4, 2).shape == (4, 2)
+        assert two_clusters(8, 2, seed=0).shape == (8, 2)
+
+    def test_determinism(self):
+        np.testing.assert_array_equal(
+            gaussian_cluster(5, 2, seed=3), gaussian_cluster(5, 2, seed=3)
+        )
+
+    def test_uniform_bounds(self):
+        pts = uniform_box(50, 2, lower=-2.0, upper=3.0, seed=1)
+        assert pts.min() >= -2.0 and pts.max() <= 3.0
+
+    def test_outliers_replace_rows(self):
+        base = gaussian_cluster(6, 2, spread=0.1, seed=2)
+        out = with_outliers(base, [4, 5], magnitude=10.0, seed=2)
+        np.testing.assert_array_equal(out[:4], base[:4])
+        assert np.linalg.norm(out[4]) == pytest.approx(10.0)
+        assert np.linalg.norm(out[5]) == pytest.approx(10.0)
+
+    def test_collinear_rank(self):
+        assert affine_rank(collinear(8, 3, seed=1)) == 1
+
+    def test_identical_rank(self):
+        assert affine_rank(identical(5, 3, value=[1, 2, 3])) == 0
+
+    def test_simplex_cycles(self):
+        pts = simplex_corners(7, 2)
+        unique = {tuple(p) for p in pts}
+        assert len(unique) == 3  # d + 1 distinct corners
+
+    def test_binary_line(self):
+        pts = binary_line(5, zeros=3)
+        assert int(np.sum(pts == 0.0)) == 3
+        assert int(np.sum(pts == 1.0)) == 2
+        with pytest.raises(ValueError):
+            binary_line(3, zeros=5)
+
+    def test_majority_identical(self):
+        pts = majority_identical(7, 2, f=1, shared=[0.5, 0.5], seed=4)
+        shared_rows = np.sum(np.all(pts == [0.5, 0.5], axis=1))
+        assert shared_rows >= 3  # 2f + 1
+
+    def test_two_clusters_separated(self):
+        pts = two_clusters(10, 2, separation=4.0, spread=0.1, seed=5)
+        a, b = pts[:5].mean(axis=0), pts[5:].mean(axis=0)
+        assert np.linalg.norm(a - b) > 3.0

@@ -1,0 +1,46 @@
+"""Tests for the named scenario bundles."""
+
+import pytest
+
+from repro.core.invariants import check_all
+from repro.workloads.scenarios import (
+    ALL_SCENARIOS,
+    benign,
+    degenerate_bound,
+    view_split,
+)
+
+
+class TestScenarioFactories:
+    def test_registry_complete(self):
+        assert set(ALL_SCENARIOS) == {
+            "benign",
+            "outlier-attack",
+            "crash-storm",
+            "degenerate-bound",
+            "collinear",
+            "view-split",
+        }
+
+    def test_benign_dimensions(self):
+        sc = benign(n=6, d=3, eps=0.2)
+        assert sc.n == 6 and sc.dim == 3
+
+    def test_degenerate_bound_n(self):
+        sc = degenerate_bound(d=2, f=1)
+        assert sc.n == 5  # (d+2)f + 1
+
+    def test_every_scenario_satisfies_paper_properties(self):
+        for name, factory in ALL_SCENARIOS.items():
+            result = factory().run(seed=2)
+            report = check_all(result.trace)
+            assert report.ok, name
+
+    def test_view_split_produces_nested_views(self):
+        result = view_split(seed=0).run(seed=0)
+        sizes = sorted(
+            len(p.r_view)
+            for p in result.trace.processes
+            if p.r_view is not None
+        )
+        assert sizes[0] < sizes[-1]  # genuinely nested, not identical
