@@ -1,0 +1,78 @@
+"""A/B benchmark for the geometry memoization layer.
+
+Runs the same full Algorithm CC execution (n = 7, d = 2, f = 1,
+eps = 0.3, so t_end >> 5) twice — once with the content-addressed
+geometry caches disabled and cleared, once enabled from cold — and
+asserts the whole point of the layer:
+
+* the two executions produce **bit-identical** decision polytopes for
+  every process (memoization is semantically invisible);
+* the cached run is at least 2x faster;
+* more than half of the memoizable geometry calls hit the cache
+  (the protocol's cross-process redundancy is real, not incidental).
+
+Results (both wall-clocks, both counter sets, hit rate, speedup) land in
+``BENCH_cache.json`` at the repository root.
+"""
+
+import numpy as np
+
+from _harness import record_bench
+from repro.analysis.perf_counters import cache_hit_rate, measure
+from repro.core.runner import run_convex_hull_consensus
+from repro.geometry.cache import cache_override, clear_geometry_caches
+
+N, DIM, F, EPS, SEED = 7, 2, 1, 0.3, 42
+
+
+def _run():
+    rng = np.random.default_rng(7)
+    inputs = rng.uniform(0.0, 5.0, size=(N, DIM))
+    return run_convex_hull_consensus(inputs, F, EPS, seed=SEED)
+
+
+def _decisions(result):
+    return {
+        proc.pid: proc.states[max(proc.states)].vertices
+        for proc in result.trace.processes
+        if proc.decided
+    }
+
+
+def bench_cache_ab(benchmark):
+    with cache_override(False):
+        clear_geometry_caches()
+        res_off, sec_off, cnt_off = measure(_run)
+    with cache_override(True):
+        clear_geometry_caches()
+        res_on, sec_on, cnt_on = measure(_run)
+        # The benchmark-timed run rides the now-warm cache; its stats show
+        # the steady-state (repeated-workload) cost of the cached path.
+        benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    assert res_on.config.t_end >= 5
+
+    off, on = _decisions(res_off), _decisions(res_on)
+    assert off.keys() == on.keys()
+    for pid in off:
+        assert off[pid].shape == on[pid].shape
+        assert off[pid].tobytes() == on[pid].tobytes(), (
+            f"process {pid}: cached run diverged from uncached run"
+        )
+
+    speedup = sec_off / sec_on
+    hit_rate = cache_hit_rate(cnt_on)
+    record_bench(
+        "cache",
+        "full_run_n7_d2",
+        workload={"n": N, "dim": DIM, "f": F, "eps": EPS, "seed": SEED,
+                  "t_end": res_on.config.t_end},
+        seconds_cache_off=sec_off,
+        seconds_cache_on=sec_on,
+        speedup=speedup,
+        cache_hit_rate=hit_rate,
+        counters_cache_off=cnt_off,
+        counters_cache_on=cnt_on,
+    )
+    assert speedup >= 2.0, f"cache speedup only {speedup:.2f}x"
+    assert hit_rate > 0.5, f"cache hit rate only {hit_rate:.2%}"

@@ -4,17 +4,25 @@ These time the operations Algorithm CC performs thousands of times per
 execution: hulls, the subset-hull intersection (line 5), the polytope
 combination L (line 14), Hausdorff distances (the agreement metric), and
 point projections (membership tests).
+
+Each benchmark also records one counter-attributed run into
+``BENCH_geometry.json`` at the repository root (wall-clock, hull/H-rep/LP
+call counts, cache hits), so perf regressions in the substrate are
+visible as data, not just as pytest-benchmark console output.
 """
 
 import numpy as np
 import pytest
 
+from _harness import record_calibrated
 from repro.geometry.combination import equal_weight_combination
 from repro.geometry.hausdorff import hausdorff_distance
 from repro.geometry.hull import hull_vertices
 from repro.geometry.intersection import intersect_subset_hulls
 from repro.geometry.polytope import ConvexPolytope
 from repro.geometry.projection import project_onto_hull
+
+STEM = "geometry"
 
 
 @pytest.fixture(scope="module")
@@ -24,31 +32,37 @@ def rng():
 
 def bench_hull_2d(benchmark, rng):
     pts = rng.normal(size=(200, 2))
-    out = benchmark(hull_vertices, pts)
+    out = record_calibrated(benchmark, STEM, "hull_2d", hull_vertices, pts)
     assert out.shape[0] >= 3
 
 
 def bench_hull_3d(benchmark, rng):
     pts = rng.normal(size=(200, 3))
-    out = benchmark(hull_vertices, pts)
+    out = record_calibrated(benchmark, STEM, "hull_3d", hull_vertices, pts)
     assert out.shape[0] >= 4
 
 
 def bench_subset_intersection_2d_f1(benchmark, rng):
     pts = rng.normal(size=(8, 2))
-    poly = benchmark(intersect_subset_hulls, pts, 1)
+    poly = record_calibrated(
+        benchmark, STEM, "subset_intersection_2d_f1", intersect_subset_hulls, pts, 1
+    )
     assert not poly.is_empty
 
 
 def bench_subset_intersection_2d_f2(benchmark, rng):
     pts = rng.normal(size=(9, 2))
-    poly = benchmark(intersect_subset_hulls, pts, 2)
+    poly = record_calibrated(
+        benchmark, STEM, "subset_intersection_2d_f2", intersect_subset_hulls, pts, 2
+    )
     assert not poly.is_empty
 
 
 def bench_subset_intersection_3d(benchmark, rng):
     pts = rng.normal(size=(9, 3))
-    poly = benchmark(intersect_subset_hulls, pts, 1)
+    poly = record_calibrated(
+        benchmark, STEM, "subset_intersection_3d", intersect_subset_hulls, pts, 1
+    )
     assert not poly.is_empty
 
 
@@ -57,19 +71,23 @@ def bench_combination_l(benchmark, rng):
         ConvexPolytope.from_points(rng.normal(size=(8, 2)) + k)
         for k in range(7)
     ]
-    out = benchmark(equal_weight_combination, polys)
+    out = record_calibrated(
+        benchmark, STEM, "combination_l", equal_weight_combination, polys
+    )
     assert not out.is_empty
 
 
 def bench_hausdorff(benchmark, rng):
     a = ConvexPolytope.from_points(rng.normal(size=(20, 2)))
     b = ConvexPolytope.from_points(rng.normal(size=(20, 2)) + 0.5)
-    dist = benchmark(hausdorff_distance, a, b)
+    dist = record_calibrated(benchmark, STEM, "hausdorff", hausdorff_distance, a, b)
     assert dist > 0
 
 
 def bench_projection(benchmark, rng):
     verts = rng.normal(size=(30, 3))
     q = rng.normal(size=3) * 2
-    proj, lam = benchmark(project_onto_hull, q, verts)
+    proj, lam = record_calibrated(
+        benchmark, STEM, "projection", project_onto_hull, q, verts
+    )
     assert lam.sum() == pytest.approx(1.0, abs=1e-9)

@@ -3,16 +3,23 @@
 Times one stable-vector round, a full small consensus execution on the
 discrete-event simulator, and the same on the asyncio runtime — the
 substrate costs underlying every experiment.
+
+Full-execution benchmarks record wall-clock plus geometry perf-counter
+deltas (hull calls, cache hits, LP solves) into ``BENCH_runtime.json`` at
+the repository root.
 """
 
 import numpy as np
 import pytest
 
+from _harness import record_calibrated, run_recorded
 from repro.core.runner import run_convex_hull_consensus
 from repro.runtime.asyncio_runtime import run_asyncio_consensus
 from repro.runtime.messages import InputTuple, freeze_point
 from repro.runtime.scheduler import RandomScheduler
 from repro.runtime.simulator import run_simulation
+
+STEM = "runtime"
 
 
 def bench_stable_vector_round(benchmark):
@@ -55,7 +62,7 @@ def bench_stable_vector_round(benchmark):
         )
         return cores
 
-    cores = benchmark(run)
+    cores = record_calibrated(benchmark, STEM, "stable_vector_round", run)
     assert all(c.done for c in cores)
 
 
@@ -66,7 +73,7 @@ def bench_full_consensus_1d(benchmark):
     def run():
         return run_convex_hull_consensus(inputs, 1, 0.2, seed=3)
 
-    result = benchmark(run)
+    result = record_calibrated(benchmark, STEM, "full_consensus_1d", run)
     assert len(result.report.decided) == 5
 
 
@@ -77,7 +84,7 @@ def bench_full_consensus_2d(benchmark):
     def run():
         return run_convex_hull_consensus(inputs, 1, 0.3, seed=4)
 
-    result = benchmark(run)
+    result = record_calibrated(benchmark, STEM, "full_consensus_2d", run)
     assert len(result.report.decided) == 5
 
 
@@ -88,5 +95,5 @@ def bench_asyncio_consensus_1d(benchmark):
     def run():
         return run_asyncio_consensus(inputs, 1, 0.3, seed=5, max_delay=0.0)
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = run_recorded(benchmark, STEM, "asyncio_consensus_1d", run)
     assert len(result.report.decided) == 5

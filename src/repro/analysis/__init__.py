@@ -18,6 +18,17 @@ from .metrics import (
     cost_summary,
     output_size_report,
 )
+from .perf_counters import (
+    PERF,
+    PerfCounters,
+    cache_hit_rate,
+    cache_stats,
+    counters_dict,
+    counters_since,
+    measure,
+    reset_perf_counters,
+    snapshot,
+)
 from .quorum_stats import QuorumReport, QuorumRound, explain_contraction, quorum_report
 from .reporting import format_value, print_report, render_series, render_table, spark
 from .sweeps import SweepRow, SweepSummary, sweep_scenario
@@ -33,17 +44,24 @@ __all__ = [
     "ConvergenceSeries",
     "CostSummary",
     "OutputSizeReport",
+    "PERF",
+    "PerfCounters",
     "QuorumReport",
     "QuorumRound",
     "SweepRow",
     "SweepSummary",
+    "cache_hit_rate",
+    "cache_stats",
     "convergence_series",
     "cost_summary",
+    "counters_dict",
+    "counters_since",
     "delta",
     "dump_trace",
     "explain_contraction",
     "format_value",
     "is_scrambling",
+    "measure",
     "lambda_coefficient",
     "lemma3_chain_bound",
     "load_trace",
@@ -55,6 +73,8 @@ __all__ = [
     "quorum_report",
     "render_series",
     "render_table",
+    "reset_perf_counters",
+    "snapshot",
     "spark",
     "sweep_scenario",
     "trace_from_dict",

@@ -170,8 +170,12 @@ class CCProcess(ProtocolCore):
         t = msg.round_index
         if t in self._frozen_rounds or t < self._round:
             return []  # Y_i[t] already frozen; late arrivals are discarded.
-        poly = ConvexPolytope.from_points(
-            np.array(msg.vertices), dim=self.config.dim
+        # ``msg.vertices`` is always the sender's ``h_j[t-1].vertices`` —
+        # a vertex set the sender already minimized — so the receiver must
+        # not re-run the hull on it; the trusted (interned) constructor
+        # shares one polytope instance among all receivers of a broadcast.
+        poly = ConvexPolytope.from_trusted_vertices(
+            msg.vertices, dim=self.config.dim
         )
         self._round_buffer.setdefault(t, {})[msg.sender] = poly
         return self._maybe_complete_round()

@@ -8,6 +8,16 @@ supporting machinery (H-representations, projections, depth, volume,
 sampling) — all on numpy/scipy, with explicit degeneracy handling.
 """
 
+from .cache import (
+    PERF,
+    PerfCounters,
+    cache_disabled,
+    cache_enabled,
+    cache_override,
+    cache_stats,
+    clear_geometry_caches,
+    set_cache_enabled,
+)
 from .combination import (
     equal_weight_combination,
     linear_combination,
@@ -92,6 +102,8 @@ __all__ = [
     "AffineChart",
     "ConvexPolytope",
     "DEFAULT_TOLERANCES",
+    "PERF",
+    "PerfCounters",
     "DegenerateInputError",
     "DimensionMismatchError",
     "EmptyPolytopeError",
@@ -105,7 +117,12 @@ __all__ = [
     "affine_rank",
     "as_points_array",
     "aspect_ratio",
+    "cache_disabled",
+    "cache_enabled",
+    "cache_override",
+    "cache_stats",
     "chebyshev_center",
+    "clear_geometry_caches",
     "common_point_of_hulls",
     "cross_polytope",
     "dilate",
@@ -146,6 +163,7 @@ __all__ = [
     "sample_in_polytope",
     "sample_on_vertices",
     "sample_outside_polytope",
+    "set_cache_enabled",
     "steiner_lipschitz_bound",
     "steiner_point",
     "stochastic_row_combination",

@@ -1,0 +1,250 @@
+"""Content-addressed memoization layer for the geometry kernel.
+
+Algorithm CC performs the *same* geometric computations many times per
+execution: every receiver of a round message used to re-hull a vertex set
+the sender had already minimized, all processes sharing a stable-vector
+view compute the identical round-0 subset intersection, and processes
+freezing the same ``Y_i[t]`` multiset compute the identical combination
+``L``.  This module provides the shared machinery that collapses that
+redundancy:
+
+* :class:`LruCache` — a bounded, insertion-ordered cache with hit/miss
+  accounting, used by ``hull.py`` / ``halfspaces.py`` / ``intersection.py``
+  / ``combination.py`` / ``polytope.py`` for their memoized entry points;
+* content-addressed keys (:func:`array_key`) — a geometry value is keyed
+  by the raw bytes of its float64 vertex array, so *results are shared
+  if and only if the inputs are bit-identical*.  Every memoized path is
+  therefore bit-identical to the unmemoized path by construction: the
+  cached value was produced by the very same code on the very same bytes;
+* a global on/off switch (:func:`set_cache_enabled`,
+  :func:`cache_disabled`) for A/B benchmarking — with the switch off,
+  every memoized entry point falls through to its original computation;
+* the :class:`PerfCounters` singleton :data:`PERF` — cheap monotonic
+  counters (hull calls, cache hits/misses, LP solves, Minkowski candidate
+  counts) incremented by the geometry hot paths and surfaced by
+  :mod:`repro.analysis.perf_counters`, the simulator report, and the
+  benchmark harness.
+
+Cached arrays are returned *without copying* and are marked read-only;
+polytopes are immutable by design, so no invalidation story is needed.
+The caches are process-global and not thread-safe (the simulator is a
+single-threaded discrete-event loop).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Any, Hashable, Iterator
+
+import numpy as np
+
+#: Default bound on each cache's entry count.  Entries are whole vertex
+#: arrays / polytopes of the sizes Algorithm CC produces (tens of floats),
+#: so the worst-case footprint is a few MB per cache.
+DEFAULT_CACHE_SIZE = 4096
+
+
+# ----------------------------------------------------------------------
+# Perf counters
+# ----------------------------------------------------------------------
+
+@dataclass
+class PerfCounters:
+    """Monotonic counters for the geometry/runtime hot paths.
+
+    All fields are plain ints; incrementing one is a single attribute
+    add, cheap enough to leave enabled unconditionally (counting happens
+    with the cache on *or* off, so A/B runs are directly comparable).
+    """
+
+    hull_calls: int = 0
+    hull_cache_hits: int = 0
+    hull_cache_misses: int = 0
+    hrep_calls: int = 0
+    hrep_cache_hits: int = 0
+    hrep_cache_misses: int = 0
+    subset_intersection_calls: int = 0
+    subset_intersection_cache_hits: int = 0
+    subset_intersection_cache_misses: int = 0
+    combination_calls: int = 0
+    combination_cache_hits: int = 0
+    combination_cache_misses: int = 0
+    polytope_intern_hits: int = 0
+    polytope_intern_misses: int = 0
+    lp_solves: int = 0
+    minkowski_pairs: int = 0
+    minkowski_candidates: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def snapshot(self) -> "PerfCounters":
+        return PerfCounters(**self.as_dict())
+
+    def diff(self, earlier: "PerfCounters") -> dict[str, int]:
+        """Counter deltas since ``earlier`` (a prior :meth:`snapshot`)."""
+        now = self.as_dict()
+        before = earlier.as_dict()
+        return {name: now[name] - before[name] for name in now}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+#: The process-global counter singleton.
+PERF = PerfCounters()
+
+
+# ----------------------------------------------------------------------
+# Global switch
+# ----------------------------------------------------------------------
+
+_ENABLED = os.environ.get("REPRO_GEOMETRY_CACHE", "1") not in ("0", "false", "off")
+
+
+def cache_enabled() -> bool:
+    """True when the geometry memoization layer is active."""
+    return _ENABLED
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Globally enable/disable memoization; returns the previous state.
+
+    Disabling does not clear stored entries — re-enabling resumes with
+    the warm caches.  Use :func:`clear_geometry_caches` for a cold start.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Context manager: run a block with memoization off (A/B testing)."""
+    previous = set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+@contextmanager
+def cache_override(enabled: bool) -> Iterator[None]:
+    """Context manager: force the switch to ``enabled`` within the block."""
+    previous = set_cache_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Bounded LRU cache
+# ----------------------------------------------------------------------
+
+class LruCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    A thin :class:`OrderedDict` wrapper: ``get`` refreshes recency,
+    ``put`` evicts the oldest entry beyond ``maxsize``.  Hit/miss
+    accounting is left to the call sites so each memoized primitive can
+    report into its own :class:`PerfCounters` fields.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE, name: str = ""):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.name = name
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        while len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+#: Registry of every named cache, for bulk clearing and stats reporting.
+_REGISTRY: dict[str, LruCache] = {}
+
+
+def _register(name: str, maxsize: int = DEFAULT_CACHE_SIZE) -> LruCache:
+    cache = LruCache(maxsize=maxsize, name=name)
+    _REGISTRY[name] = cache
+    return cache
+
+
+#: hull_vertices results: (shape, bytes of deduplicated input) -> vertex array.
+HULL_CACHE = _register("hull")
+#: hrep_of_hull results: (shape, bytes) -> (A, b) read-only arrays.
+HREP_CACHE = _register("hrep")
+#: intersect_subset_hulls results: (shape, bytes, f) -> ConvexPolytope.
+SUBSET_CACHE = _register("subset_intersection")
+#: linear_combination results: (operand keys..., weight bytes) -> ConvexPolytope.
+COMBINATION_CACHE = _register("combination")
+#: Interned trusted polytopes: (dim, shape, bytes) -> ConvexPolytope.
+POLYTOPE_CACHE = _register("polytope")
+
+
+def clear_geometry_caches() -> None:
+    """Empty every geometry cache (counters are left untouched)."""
+    for cache in _REGISTRY.values():
+        cache.clear()
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Size/capacity/eviction stats for every registered cache."""
+    return {
+        name: {
+            "size": len(cache),
+            "maxsize": cache.maxsize,
+            "evictions": cache.evictions,
+        }
+        for name, cache in _REGISTRY.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Content-addressed keys
+# ----------------------------------------------------------------------
+
+def array_key(arr: np.ndarray) -> tuple:
+    """Content key of a float64 point array: its shape plus raw bytes.
+
+    Bit-identical arrays — and only those — share a key, which is what
+    makes every cached path provably equivalent to the uncached one.
+    """
+    return (arr.shape, arr.tobytes())
+
+
+def freeze_readonly(arr: np.ndarray) -> np.ndarray:
+    """Mark an array read-only before it is shared through a cache."""
+    arr.setflags(write=False)
+    return arr

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .cache import COMBINATION_CACHE, PERF, array_key, cache_enabled
 from .errors import DimensionMismatchError, EmptyPolytopeError
 from .hull import hull_vertices
 from .polytope import ConvexPolytope
@@ -30,6 +31,13 @@ from .polytope import ConvexPolytope
 #: Weights smaller than this contribute nothing within float64 resolution
 #: relative to the coordinate scales used in the library.
 _NEGLIGIBLE_WEIGHT = 1e-15
+
+#: Candidate-product block size for one pairwise Minkowski step.  At or
+#: below this size the full product is materialized and hulled in one
+#: shot (the historical path); above it the product is folded into a
+#: running hull block by block, so the peak intermediate array is bounded
+#: by roughly this many points instead of ``|acc| * |term|``.
+_PAIR_BLOCK = 2048
 
 
 def validate_weights(weights: Sequence[float], count: int) -> np.ndarray:
@@ -86,19 +94,89 @@ def linear_combination(
     if dim == 1:
         return _combine_1d([p for p, _ in active], np.array([c for _, c in active]))
 
-    # Iterated weighted Minkowski sum with pruning.
+    PERF.combination_calls += 1
+    if cache_enabled():
+        # Content-addressed on the ordered active operands and weights:
+        # the iterated pairwise sums below are order-sensitive in floating
+        # point, so the key must preserve operand order to stay
+        # bit-identical with the uncached path.  Processes that freeze the
+        # same (sender-sorted) ``Y_i[t]`` multiset share one computation.
+        key = (
+            dim,
+            max_intermediate_vertices,
+            tuple(array_key(poly.vertices) for poly, _ in active),
+            tuple(c for _, c in active),
+        )
+        cached = COMBINATION_CACHE.get(key)
+        if cached is not None:
+            PERF.combination_cache_hits += 1
+            return cached
+        PERF.combination_cache_misses += 1
+        result = _combine_minkowski(active, dim, max_intermediate_vertices)
+        COMBINATION_CACHE.put(key, result)
+        return result
+    return _combine_minkowski(active, dim, max_intermediate_vertices)
+
+
+def _combine_minkowski(
+    active: list[tuple[ConvexPolytope, float]],
+    dim: int,
+    max_intermediate_vertices: int,
+) -> ConvexPolytope:
+    """Iterated pairwise weighted Minkowski sums with hull pruning."""
     first_poly, first_c = active[0]
     acc = first_c * first_poly.vertices
     for poly, c in active[1:]:
         term = c * poly.vertices
+        acc = _minkowski_pair_hull(acc, term, dim, max_intermediate_vertices)
+    # ``acc`` is the output of a hull computation (or a single scaled
+    # vertex set), i.e. already minimal — construct via the trusted path
+    # instead of re-running the hull on its own output.
+    if len(active) == 1:
+        return ConvexPolytope.from_points(acc, dim=dim)
+    return ConvexPolytope(acc, dim, _trusted=True)
+
+
+def _minkowski_pair_hull(
+    acc: np.ndarray,
+    term: np.ndarray,
+    dim: int,
+    max_intermediate_vertices: int,
+) -> np.ndarray:
+    """Hull of ``{a + t : a in acc, t in term}`` without the full product.
+
+    The candidate product has ``|acc| * |term|`` points, but almost all of
+    them are interior: the true Minkowski-sum vertex count is bounded by
+    ``|acc| + |term|`` in the plane.  Small products (the common case for
+    Algorithm CC's per-round combinations) are materialized whole; large
+    ones are folded block by block into a *running hull*, which prunes the
+    dominated sums of each block before the next block is generated, so
+    peak memory stays ~``_PAIR_BLOCK`` points instead of the full product.
+    The ``max_intermediate_vertices`` cap keeps its historical meaning as
+    a guard on the total candidate-product size.
+    """
+    total = acc.shape[0] * term.shape[0]
+    PERF.minkowski_pairs += 1
+    PERF.minkowski_candidates += total
+    if total > max_intermediate_vertices:
+        raise MemoryError(
+            f"Minkowski intermediate of {total} candidate vertices "
+            f"exceeds the safety cap {max_intermediate_vertices}"
+        )
+    if total <= _PAIR_BLOCK:
         sums = (acc[:, None, :] + term[None, :, :]).reshape(-1, dim)
-        if sums.shape[0] > max_intermediate_vertices:
-            raise MemoryError(
-                f"Minkowski intermediate of {sums.shape[0]} candidate vertices "
-                f"exceeds the safety cap {max_intermediate_vertices}"
-            )
-        acc = hull_vertices(sums)
-    return ConvexPolytope.from_points(acc, dim=dim)
+        return hull_vertices(sums)
+    rows_per_block = max(1, _PAIR_BLOCK // term.shape[0])
+    running: np.ndarray | None = None
+    for start in range(0, acc.shape[0], rows_per_block):
+        chunk = acc[start : start + rows_per_block]
+        block = (chunk[:, None, :] + term[None, :, :]).reshape(-1, dim)
+        if running is None:
+            running = hull_vertices(block)
+        else:
+            running = hull_vertices(np.vstack([running, block]))
+    assert running is not None  # acc is never empty here
+    return running
 
 
 def equal_weight_combination(polytopes: Sequence[ConvexPolytope]) -> ConvexPolytope:

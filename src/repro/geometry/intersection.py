@@ -33,6 +33,7 @@ from itertools import combinations
 
 import numpy as np
 
+from .cache import PERF, SUBSET_CACHE, array_key, cache_enabled
 from .errors import InfeasibleRegionError
 from .halfspaces import (
     dedupe_halfspaces,
@@ -94,6 +95,12 @@ def intersect_subset_hulls(points, f: int) -> ConvexPolytope:
     ``points`` is the multiset ``X_i`` (duplicates meaningful: a value
     reported by several processes is harder for the adversary to discard).
     ``f`` is the fault bound.  Raises ``ValueError`` when ``m - f < 1``.
+
+    The full result is memoized by ``(points bytes, f)``: processes whose
+    stable-vector views coincide (the common case — Containment forces
+    heavy view overlap) ask for the *same* round-0 intersection, and the
+    ``C(m, f)``-hull computation then runs once per run instead of once
+    per process.  The returned polytope is immutable and safely shared.
     """
     pts = as_points_array(points)
     m, dim = pts.shape
@@ -103,6 +110,23 @@ def intersect_subset_hulls(points, f: int) -> ConvexPolytope:
         raise ValueError(
             f"cannot drop f={f} points from a multiset of size {m}"
         )
+    PERF.subset_intersection_calls += 1
+    if cache_enabled():
+        key = (array_key(pts), f)
+        cached = SUBSET_CACHE.get(key)
+        if cached is not None:
+            PERF.subset_intersection_cache_hits += 1
+            return cached
+        PERF.subset_intersection_cache_misses += 1
+        result = _intersect_subset_hulls_uncached(pts, m, dim, f)
+        SUBSET_CACHE.put(key, result)
+        return result
+    return _intersect_subset_hulls_uncached(pts, m, dim, f)
+
+
+def _intersect_subset_hulls_uncached(
+    pts: np.ndarray, m: int, dim: int, f: int
+) -> ConvexPolytope:
     if f == 0:
         return ConvexPolytope.from_points(pts)
     if dim == 1:

@@ -20,6 +20,7 @@ messages sent" case.
 
 from __future__ import annotations
 
+from ..geometry.cache import PERF
 from .faults import FaultPlan
 from .network import Network
 from .process import ProcessShell, ProtocolCore
@@ -58,6 +59,7 @@ def run_lockstep_simulation(
         )
         max_phases = 10 * (n + t_end) + 100
 
+    perf_before = PERF.snapshot()
     for shell in shells:
         shell.start()
 
@@ -110,6 +112,7 @@ def run_lockstep_simulation(
         decided=decided,
         crashed=crashed,
         undecided_alive=undecided_alive,
+        perf_counters=PERF.diff(perf_before),
     )
 
 

@@ -8,6 +8,14 @@ channels reliable and FIFO, each message delivered exactly once.  The
   enqueueing, but what was sent before the crash stays deliverable);
 * *FIFO* — schedulers only ever see per-channel heads;
 * *exactly-once* — per-channel sequence numbers are checked on delivery.
+
+Delivery-candidate bookkeeping is *incremental*: the network maintains the
+set of channels that are non-empty, and — once destinations are registered
+as crashed via :meth:`mark_crashed` — the subset of those whose head is
+actually deliverable.  The simulator's hot loop therefore asks for
+:meth:`ready_heads` in O(ready channels) instead of rescanning all
+``n * (n - 1)`` channels per delivery (previously an O(n^2) scan repeated
+for O(n^3) deliveries).
 """
 
 from __future__ import annotations
@@ -29,32 +37,74 @@ class Network:
             for dst in range(n)
             if src != dst
         }
+        # Incrementally maintained index sets over channel keys.
+        self._nonempty: set[tuple[int, int]] = set()
+        self._ready: set[tuple[int, int]] = set()  # non-empty AND dst not crashed
+        self._crashed_dst: set[int] = set()
         self.messages_sent = 0
         self.messages_delivered = 0
 
     def send(self, src: int, dst: int, payload: Payload, send_round: int) -> None:
         if src == dst:
             raise ChannelError("self-messages are handled locally, not via network")
-        self._channels[(src, dst)].enqueue(payload, send_round)
+        key = (src, dst)
+        self._channels[key].enqueue(payload, send_round)
+        self._nonempty.add(key)
+        if dst not in self._crashed_dst:
+            self._ready.add(key)
         self.messages_sent += 1
 
-    def pending_heads(self, alive_destinations: set[int]) -> list[Envelope]:
-        """Channel heads whose destination can still process messages.
+    def mark_crashed(self, dst: int) -> None:
+        """Register ``dst`` as crashed: its inbound heads stop being ready.
 
-        Messages to crashed/terminated processes stay queued but are not
-        offered to the scheduler — delivering them would be a no-op, and
-        excluding them keeps termination detection simple.
+        Messages addressed to it stay queued (reliability) but are no
+        longer offered to the scheduler — delivering them would be a
+        no-op, and excluding them keeps termination detection simple.
+        """
+        if dst in self._crashed_dst:
+            return
+        self._crashed_dst.add(dst)
+        self._ready.difference_update(
+            key for key in list(self._ready) if key[1] == dst
+        )
+
+    def ready_heads(self) -> list[Envelope]:
+        """Deliverable channel heads, in deterministic (src, dst) order.
+
+        Uses the incrementally maintained ready set; the (src, dst)
+        lexicographic sort reproduces exactly the head order the previous
+        full-scan implementation yielded, so seeded schedulers see
+        identical candidate lists and executions are bit-for-bit
+        reproducible across both implementations.
+        """
+        return [self._channels[key].head for key in sorted(self._ready)]
+
+    @property
+    def has_ready(self) -> bool:
+        return bool(self._ready)
+
+    def pending_heads(self, alive_destinations: set[int]) -> list[Envelope]:
+        """Channel heads whose destination is in ``alive_destinations``.
+
+        Caller-supplied-liveness variant kept for the lockstep driver and
+        direct tests; it scans only the non-empty channels.  The
+        simulator's hot loop uses :meth:`ready_heads` instead.
         """
         return [
-            ch.head
-            for ch in self._channels.values()
-            if ch.has_pending and ch.dst in alive_destinations
+            self._channels[key].head
+            for key in sorted(self._nonempty)
+            if key[1] in alive_destinations
         ]
 
     def deliver(self, env: Envelope) -> Envelope:
-        delivered = self._channels[(env.src, env.dst)].deliver_head()
+        key = (env.src, env.dst)
+        channel = self._channels[key]
+        delivered = channel.deliver_head()
         if delivered is not env:
             raise ChannelError("scheduler chose a non-head envelope")
+        if not channel.has_pending:
+            self._nonempty.discard(key)
+            self._ready.discard(key)
         self.messages_delivered += 1
         return delivered
 

@@ -8,12 +8,20 @@ to choose any order consistent with per-channel FIFO.
 
 Executions are reproducible: (cores, fault plan, scheduler seed) fully
 determine the run.
+
+The delivery loop is incremental: liveness and the deliverable-head set
+are updated at the single place they can change — a crash fired by the
+shell that just processed an event — instead of being recomputed from all
+``n`` shells and all ``n * (n - 1)`` channels on every delivery.  The
+candidate-head ordering is identical to the historical full rescan, so
+seeded executions are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..geometry.cache import PERF
 from .faults import FaultPlan
 from .network import Network
 from .process import ProcessShell, ProtocolCore
@@ -26,7 +34,13 @@ class SimulationError(RuntimeError):
 
 @dataclass
 class SimulationReport:
-    """Outcome counters for one run (full data lives in the trace)."""
+    """Outcome counters for one run (full data lives in the trace).
+
+    ``perf_counters`` holds the geometry/cache counter *deltas* attributed
+    to this run (hull calls, cache hits/misses, LP solves, Minkowski
+    candidates — see :mod:`repro.analysis.perf_counters`); drivers that do
+    not collect them leave it empty.
+    """
 
     delivery_steps: int
     messages_sent: int
@@ -34,6 +48,7 @@ class SimulationReport:
     decided: list[int]
     crashed: list[int]
     undecided_alive: list[int]
+    perf_counters: dict[str, int] = field(default_factory=dict)
 
 
 def run_simulation(
@@ -67,15 +82,25 @@ def run_simulation(
         # each of the t_end rounds is O(n^2); the constant absorbs echoes.
         max_steps = 2000 * n * n * n + 100_000
 
+    perf_before = PERF.snapshot()
+    alive = {shell.pid for shell in shells}
+
+    def note_crash(shell: ProcessShell) -> None:
+        if shell.crashed and shell.pid in alive:
+            alive.discard(shell.pid)
+            network.mark_crashed(shell.pid)
+
     for shell in shells:
         shell.start()
+    # A crash spec can fire during the initial fan-out; fold those crashes
+    # into the ready-set before the first delivery, exactly where the old
+    # per-iteration liveness rescan would first have observed them.
+    for shell in shells:
+        note_crash(shell)
 
     steps = 0
-    while True:
-        alive = {shell.pid for shell in shells if shell.alive}
-        heads = network.pending_heads(alive)
-        if not heads:
-            break
+    while network.has_ready:
+        heads = network.ready_heads()
         steps += 1
         if steps > max_steps:
             raise SimulationError(
@@ -84,7 +109,11 @@ def run_simulation(
             )
         env = heads[sched.choose(heads)]
         network.deliver(env)
-        shells[env.dst].receive(env.payload, env.src)
+        receiver = shells[env.dst]
+        receiver.receive(env.payload, env.src)
+        # Only the shell that just dispatched can have crashed: crash
+        # specs fire while *sending*, and sends happen inside receive().
+        note_crash(receiver)
 
     decided = [s.pid for s in shells if s.done]
     crashed = [s.pid for s in shells if s.crashed]
@@ -102,6 +131,7 @@ def run_simulation(
         decided=decided,
         crashed=crashed,
         undecided_alive=undecided_alive,
+        perf_counters=PERF.diff(perf_before),
     )
     # Propagate shell accounting into cores that carry a trace.
     for shell in shells:

@@ -42,6 +42,7 @@ class TestRoundTrip:
         for orig, new in zip(trace.processes, rebuilt.processes):
             assert orig.r_view == new.r_view
 
+    @pytest.mark.slow
     def test_invariants_hold_on_rebuilt_trace(self, benign_2d_run):
         rebuilt = trace_from_dict(trace_to_dict(benign_2d_run.trace))
         assert check_all(rebuilt).ok

@@ -17,6 +17,7 @@ from repro.runtime.faults import FaultPlan
 from repro.runtime.messages import InputTuple
 
 
+@pytest.mark.slow
 class TestOnRealRuns:
     def test_full_report_ok(self, all_session_runs):
         for result in all_session_runs:

@@ -22,6 +22,10 @@ from repro.runtime.faults import CrashSpec
 from repro.runtime.scheduler import TargetedDelayScheduler
 from repro.workloads import gaussian_cluster, with_outliers
 
+# Full multi-process executions across dimensions and fault plans: the
+# heaviest tier of the suite, excluded from `pytest -m "not slow"`.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def full_pipeline_run():

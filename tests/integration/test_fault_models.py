@@ -19,6 +19,9 @@ from repro.runtime.faults import CrashSpec, FaultPlan
 from repro.runtime.scheduler import RandomScheduler, TargetedDelayScheduler
 from repro.workloads import gaussian_cluster, uniform_box
 
+# Executes whole families of faulty runs per test; slow tier.
+pytestmark = pytest.mark.slow
+
 
 class TestCrashWithCorrectInputs:
     def test_all_inputs_count_as_correct(self):

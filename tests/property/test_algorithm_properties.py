@@ -7,6 +7,7 @@ execution" in the theorems.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -64,6 +65,7 @@ def test_paper_properties_1d(seed, sched_kind, crash_round, crash_sends, input_s
     input_seed=st.integers(0, 1000),
 )
 @settings(max_examples=10, deadline=None)
+@pytest.mark.slow
 def test_paper_properties_2d(seed, sched_kind, input_seed):
     n, f = 5, 1
     rng = np.random.default_rng(input_seed)

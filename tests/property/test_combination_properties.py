@@ -48,6 +48,7 @@ class TestLProperties:
         assert not out.is_empty
         assert out.dim == polys[0].dim
 
+    @pytest.mark.slow
     @given(st.integers(1, 3).flatmap(lambda d: polytope_list(d)), st.data())
     @settings(max_examples=50, deadline=None)
     def test_definition_membership(self, polys, data):

@@ -12,6 +12,9 @@ from pathlib import Path
 
 import pytest
 
+# Each example is a full consensus execution (or several); slow tier.
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 

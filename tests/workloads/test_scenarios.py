@@ -10,6 +10,9 @@ from repro.workloads.scenarios import (
     view_split,
 )
 
+# Runs every scenario factory end to end; slow tier.
+pytestmark = pytest.mark.slow
+
 
 class TestScenarioFactories:
     def test_registry_complete(self):
