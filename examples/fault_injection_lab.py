@@ -5,13 +5,24 @@ over one workload, prints a matrix of outcomes, and verifies the paper's
 properties plus the transition-matrix theory (Theorem 1, Lemma 3, Claim 1)
 on every cell.  This is the library's "chaos testing" entry point.
 
+The matrix runs through the parallel experiment engine
+(`repro.analysis.engine`): each (scheduler, crash) cell is a picklable
+task spec executed in a worker process, so the lab shards across CPUs
+(`REPRO_LAB_WORKERS=N` to override), checkpoints every completed cell to
+``runs/fault_lab/results.jsonl``, and — like any engine grid — resumes an
+interrupted run without recomputing finished cells.  Cell results are
+identical for any worker count.
+
 Run:  python examples/fault_injection_lab.py
 """
+
+import os
 
 import numpy as np
 
 from repro import FaultPlan, check_all, run_convex_hull_consensus
 from repro.analysis import render_table
+from repro.analysis.engine import TaskSpec, run_grid, task_key
 from repro.core.matrix import (
     check_claim1,
     ergodicity_coefficients,
@@ -26,10 +37,6 @@ from repro.runtime.scheduler import (
 N, F, D = 6, 1, 2
 VICTIM = N - 1
 
-rng = np.random.default_rng(123)
-inputs = rng.uniform(-1.0, 1.0, size=(N, D))
-inputs[VICTIM] = [0.95, -0.95]  # extreme incorrect input
-
 SCHEDULERS = {
     "random": lambda: RandomScheduler(seed=8),
     "bursty": lambda: BurstyScheduler(seed=8),
@@ -39,47 +46,95 @@ SCHEDULERS = {
 }
 
 CRASHES = {
-    "no-crash": FaultPlan.silent_faulty([VICTIM]),
-    "round0 cut=0": FaultPlan.crash_at({VICTIM: (0, 0)}),
-    "round0 cut=2": FaultPlan.crash_at({VICTIM: (0, 2)}),
-    "round1 cut=1": FaultPlan.crash_at({VICTIM: (1, 1)}),
+    "no-crash": lambda: FaultPlan.silent_faulty([VICTIM]),
+    "round0 cut=0": lambda: FaultPlan.crash_at({VICTIM: (0, 0)}),
+    "round0 cut=2": lambda: FaultPlan.crash_at({VICTIM: (0, 2)}),
+    "round1 cut=1": lambda: FaultPlan.crash_at({VICTIM: (1, 1)}),
+}
+
+
+def lab_cell(*, scheduler: str, crash: str) -> dict:
+    """One matrix cell, rebuilt from scratch inside the worker.
+
+    Everything (inputs, fault plan, scheduler) derives deterministically
+    from the two string parameters, which keeps the task spec picklable
+    and JSON-journal-safe.
+    """
+    rng = np.random.default_rng(123)
+    inputs = rng.uniform(-1.0, 1.0, size=(N, D))
+    inputs[VICTIM] = [0.95, -0.95]  # extreme incorrect input
+
+    result = run_convex_hull_consensus(
+        inputs, F, 0.25,
+        fault_plan=CRASHES[crash](), scheduler=SCHEDULERS[scheduler](),
+        input_bounds=(-1.0, 1.0),
+    )
+    report = check_all(result.trace)
+    theory_ok = (
+        verify_state_evolution(result.trace).ok
+        and ergodicity_coefficients(result.trace).ok
+        and check_claim1(result.trace)
+    )
+    return {
+        "scheduler": scheduler,
+        "crash": crash,
+        "decided": len(result.report.decided),
+        "messages": int(result.trace.messages_sent),
+        "disagreement": float(report.agreement.disagreement),
+        "props_ok": bool(report.ok),
+        "theory_ok": bool(theory_ok),
     }
 
-rows = []
-for sched_name, sched_factory in SCHEDULERS.items():
-    for crash_name, plan in CRASHES.items():
-        result = run_convex_hull_consensus(
-            inputs, F, 0.25,
-            fault_plan=plan, scheduler=sched_factory(),
-            input_bounds=(-1.0, 1.0),
-        )
-        report = check_all(result.trace)
-        theory_ok = (
-            verify_state_evolution(result.trace).ok
-            and ergodicity_coefficients(result.trace).ok
-            and check_claim1(result.trace)
-        )
-        rows.append(
-            [
-                sched_name,
-                crash_name,
-                len(result.report.decided),
-                result.trace.messages_sent,
-                report.agreement.disagreement,
-                report.ok,
-                theory_ok,
-            ]
-        )
-        assert report.ok and theory_ok, (sched_name, crash_name)
 
-print(
-    render_table(
-        f"fault-injection matrix (n={N}, f={F}, d={D}, eps=0.25)",
-        ["scheduler", "crash", "decided", "msgs", "disagreement", "props", "theory"],
-        rows,
-        width=14,
+def main() -> None:
+    grid = [
+        TaskSpec(
+            key=task_key(scheduler=sched_name, crash=crash_name),
+            runner=lab_cell,
+            params={"scheduler": sched_name, "crash": crash_name},
+        )
+        for sched_name in SCHEDULERS
+        for crash_name in CRASHES
+    ]
+    workers = int(
+        os.environ.get("REPRO_LAB_WORKERS", min(4, os.cpu_count() or 1))
     )
-)
-print("\nEvery cell satisfies Validity, eps-Agreement, Termination,")
-print("Lemma 6 containment, stable-vector properties, Theorem 1, Lemma 3,")
-print("and Claim 1.")
+    engine = run_grid(
+        grid, workers=workers, run_dir="runs/fault_lab", resume=True
+    )
+    assert engine.failed == 0, [r.error for r in engine.results if not r.ok]
+
+    rows = [
+        [
+            row["scheduler"],
+            row["crash"],
+            row["decided"],
+            row["messages"],
+            row["disagreement"],
+            row["props_ok"],
+            row["theory_ok"],
+        ]
+        for row in engine.rows()
+    ]
+    assert all(row[-2] and row[-1] for row in rows), rows
+
+    print(
+        render_table(
+            f"fault-injection matrix (n={N}, f={F}, d={D}, eps=0.25)",
+            ["scheduler", "crash", "decided", "msgs", "disagreement", "props", "theory"],
+            rows,
+            width=14,
+        )
+    )
+    print(
+        f"\nengine: workers={engine.workers} executed={engine.executed} "
+        f"reused={engine.reused} wall={engine.wall_seconds:.1f}s "
+        f"(checkpoints in runs/fault_lab)"
+    )
+    print("\nEvery cell satisfies Validity, eps-Agreement, Termination,")
+    print("Lemma 6 containment, stable-vector properties, Theorem 1, Lemma 3,")
+    print("and Claim 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,9 +29,16 @@ from .perf_counters import (
     reset_perf_counters,
     snapshot,
 )
+from .engine import (
+    EngineReport,
+    TaskResult,
+    TaskSpec,
+    run_grid,
+    task_key,
+)
 from .quorum_stats import QuorumReport, QuorumRound, explain_contraction, quorum_report
 from .reporting import format_value, print_report, render_series, render_table, spark
-from .sweeps import SweepRow, SweepSummary, sweep_scenario
+from .sweeps import SweepRow, SweepSummary, run_sweep, sweep_scenario
 from .serialization import (
     dump_trace,
     load_trace,
@@ -43,6 +50,7 @@ __all__ = [
     "AsciiCanvas",
     "ConvergenceSeries",
     "CostSummary",
+    "EngineReport",
     "OutputSizeReport",
     "PERF",
     "PerfCounters",
@@ -50,6 +58,8 @@ __all__ = [
     "QuorumRound",
     "SweepRow",
     "SweepSummary",
+    "TaskResult",
+    "TaskSpec",
     "cache_hit_rate",
     "cache_stats",
     "convergence_series",
@@ -74,9 +84,12 @@ __all__ = [
     "render_series",
     "render_table",
     "reset_perf_counters",
+    "run_grid",
+    "run_sweep",
     "snapshot",
     "spark",
     "sweep_scenario",
+    "task_key",
     "trace_from_dict",
     "trace_to_dict",
     "verify_submultiplicativity",

@@ -5,6 +5,9 @@ Commands
 ``scenario``        run a named adversarial scenario and report the outcome
 ``consensus``       run an ad-hoc convex hull consensus instance
 ``verify``          re-check a dumped trace (invariants + matrix theory)
+``sweep``           run a scenario across seeds — ``--workers N`` shards the
+                    grid over a process pool, ``--run-dir DIR`` checkpoints
+                    each cell, ``--resume DIR`` skips completed cells
 ``list-scenarios``  enumerate the named scenarios
 ``experiments``     print the DESIGN.md experiment index
 
@@ -182,15 +185,30 @@ def cmd_verify(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    factory = scenario_mod.ALL_SCENARIOS.get(args.name)
-    if factory is None:
+    if args.name not in scenario_mod.ALL_SCENARIOS:
         print(f"unknown scenario {args.name!r}; see list-scenarios", file=sys.stderr)
         return 2
-    from .analysis.sweeps import SweepSummary, sweep_scenario
+    from .analysis.perf_counters import cache_hit_rate
+    from .analysis.sweeps import SweepSummary, run_sweep
 
-    scenario = factory()
-    summary = sweep_scenario(
-        lambda seed: scenario.run(seed=seed), range(args.seeds)
+    run_dir = args.resume if args.resume is not None else args.run_dir
+    on_result = None
+    if args.progress:
+
+        def on_result(result) -> None:
+            print(
+                f"  [{result.status}] {result.key} "
+                f"({result.seconds:.2f}s, attempt {result.attempts})"
+            )
+
+    summary, engine = run_sweep(
+        args.name,
+        range(args.seeds),
+        workers=args.workers,
+        run_dir=run_dir,
+        resume=args.resume is not None,
+        retries=args.retries,
+        on_result=on_result,
     )
     print(
         render_table(
@@ -199,6 +217,19 @@ def cmd_sweep(args) -> int:
             summary.table_rows(),
         )
     )
+    counters = engine.counters
+    print(
+        f"engine: workers={engine.workers} executed={engine.executed} "
+        f"reused={engine.reused} failed={engine.failed} "
+        f"wall={engine.wall_seconds:.2f}s cell-time={engine.cell_seconds:.2f}s "
+        f"hull_calls={counters.get('hull_calls', 0)} "
+        f"cache_hit_rate={cache_hit_rate(counters):.2f}"
+    )
+    if engine.run_dir is not None:
+        print(f"checkpoints: {engine.run_dir}")
+    for row in summary.rows:
+        if row.status == "error":
+            print(f"seed {row.seed} ERROR: {row.error}", file=sys.stderr)
     return 0 if summary.all_ok else 1
 
 
@@ -258,9 +289,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--no-matrix", action="store_true")
     p_verify.set_defaults(func=cmd_verify)
 
-    p_sweep = sub.add_parser("sweep", help="run a scenario across seeds")
+    p_sweep = sub.add_parser(
+        "sweep", help="run a scenario across seeds (parallel, resumable)"
+    )
     p_sweep.add_argument("name")
     p_sweep.add_argument("--seeds", type=int, default=5)
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size; 1 runs in-process (default)",
+    )
+    p_sweep.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint completed cells to DIR/results.jsonl",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume a checkpointed sweep, skipping completed cells "
+        "(implies --run-dir DIR)",
+    )
+    p_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for a cell that raises (default 0)",
+    )
+    p_sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed cell",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_list = sub.add_parser("list-scenarios", help="list named scenarios")

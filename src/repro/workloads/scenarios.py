@@ -3,11 +3,17 @@
 Experiments, tests, and examples share these so that "the adversarial
 crash scenario" means the same execution everywhere.  Each scenario is a
 factory (seeded) returning a :class:`Scenario`; running it is one call.
+
+For the parallel experiment engine, :class:`ScenarioSpec` is the
+picklable form: factory name + keyword overrides, rebuilt into a fresh
+:class:`Scenario` inside each worker cell (a built ``Scenario`` holds
+numpy arrays and live scheduler state and is not safe to share).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -167,6 +173,39 @@ def view_split(
         fault_plan=plan,
         scheduler=TargetedDelayScheduler(slow=frozenset({0, n - 1}), seed=seed),
     )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Picklable recipe for a scenario: factory name + keyword overrides.
+
+    The parallel engine ships these to worker processes; each cell calls
+    :meth:`build` (or :meth:`run`) to construct its own scenario from
+    scratch, so no inputs array or scheduler RNG is ever shared between
+    cells.  Rebuilding from the same ``(name, kwargs, seed)`` is
+    deterministic, which is what makes sweep results independent of
+    worker count.
+
+    Example::
+
+        spec = ScenarioSpec("crash-storm", {"n": 9, "f": 2})
+        result = spec.run(seed=3)   # == ALL_SCENARIOS["crash-storm"](n=9, f=2).run(seed=3)
+    """
+
+    name: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Scenario:
+        factory = ALL_SCENARIOS.get(self.name)
+        if factory is None:
+            raise KeyError(
+                f"unknown scenario {self.name!r}; "
+                f"known: {sorted(ALL_SCENARIOS)}"
+            )
+        return factory(**dict(self.kwargs))
+
+    def run(self, *, seed: int = 0) -> CCResult:
+        return self.build().run(seed=seed)
 
 
 ALL_SCENARIOS = {

@@ -1,9 +1,18 @@
 """Tests for the seed-sweep driver."""
 
+import json
+import pickle
+
 import pytest
 
-from repro.analysis.sweeps import SweepSummary, sweep_scenario
-from repro.workloads.scenarios import benign, view_split
+from repro.analysis.sweeps import (
+    SweepSummary,
+    run_sweep,
+    scenario_cell,
+    scenario_grid,
+    sweep_scenario,
+)
+from repro.workloads.scenarios import ScenarioSpec, benign, view_split
 
 
 class TestSweep:
@@ -58,3 +67,122 @@ class TestSweep:
         summary = sweep_scenario(lambda seed: None, [])
         assert summary.num_runs == 0
         assert summary.all_ok  # vacuous
+
+
+class TestStatusSeparation:
+    """Property violations and execution errors are distinct outcomes."""
+
+    def test_raising_run_becomes_error_row(self):
+        def run(seed):
+            if seed == 1:
+                raise RuntimeError("scheduler wedged")
+            return view_split().run(seed=seed)
+
+        summary = sweep_scenario(run, range(3))
+        assert [r.status for r in summary.rows] == ["ok", "error", "ok"]
+        assert summary.errors == [1]
+        assert summary.violations == []
+        assert summary.failures == [1]
+        assert not summary.all_ok
+        assert "RuntimeError" in summary.rows[1].error
+
+    def test_violation_row_distinct_from_error(self):
+        class NotOk:
+            ok = False
+
+        scenario = view_split()
+        summary = sweep_scenario(
+            lambda seed: scenario.run(seed=seed),
+            range(2),
+            check=lambda result: NotOk(),
+        )
+        assert summary.violations == [0, 1]
+        assert summary.errors == []
+        assert [r.status for r in summary.rows] == ["violation", "violation"]
+        assert not any(r.properties_ok for r in summary.rows)
+
+    def test_error_rows_excluded_from_mean_messages(self):
+        def run(seed):
+            if seed == 0:
+                raise RuntimeError("boom")
+            return view_split().run(seed=seed)
+
+        summary = sweep_scenario(run, range(2))
+        ok_row = summary.rows[1]
+        assert summary.mean_messages == pytest.approx(float(ok_row.messages))
+
+    def test_isolate_errors_false_reraises(self):
+        def run(seed):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            sweep_scenario(run, range(1), isolate_errors=False)
+
+    def test_table_has_status_column(self):
+        def run(seed):
+            raise RuntimeError("boom")
+
+        summary = sweep_scenario(run, range(1))
+        rows = summary.table_rows()
+        status_idx = SweepSummary.TABLE_COLUMNS.index("status")
+        assert rows[0][status_idx] == "error"
+        assert rows[-1][0] == "FAIL"
+        assert "1 err" in rows[-1][status_idx]
+
+
+class TestScenarioSpec:
+    def test_build_equivalent_to_factory(self):
+        spec = ScenarioSpec("benign", {"n": 5, "d": 1, "eps": 0.4})
+        built = spec.build()
+        direct = benign(n=5, d=1, eps=0.4)
+        assert built.n == direct.n and built.eps == direct.eps
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            ScenarioSpec("nope").build()
+
+    def test_picklable(self):
+        spec = ScenarioSpec("view-split", {"eps": 0.1})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+class TestEngineBackedSweep:
+    def test_scenario_cell_row_is_json_safe(self):
+        row = scenario_cell(scenario="view-split", seed=1)
+        assert row == json.loads(json.dumps(row))
+        assert row["status"] == "ok" and row["seed"] == 1
+
+    def test_grid_keys_deterministic(self):
+        a = scenario_grid("view-split", range(3))
+        b = scenario_grid("view-split", range(3))
+        assert [t.key for t in a] == [t.key for t in b]
+        assert len({t.key for t in a}) == 3
+
+    def test_run_sweep_matches_in_process_driver(self):
+        scenario = view_split()
+        in_process = sweep_scenario(
+            lambda seed: scenario.run(seed=seed), range(3)
+        )
+        summary, engine = run_sweep("view-split", range(3), workers=1)
+        assert [vars(r) for r in summary.rows] == [
+            vars(r) for r in in_process.rows
+        ]
+        assert engine.executed == 3 and engine.failed == 0
+
+    def test_run_sweep_worker_count_invariant(self):
+        seq, _ = run_sweep("view-split", range(3), workers=1)
+        par, _ = run_sweep("view-split", range(3), workers=2)
+        assert json.dumps(
+            [vars(r) for r in seq.rows], sort_keys=True
+        ) == json.dumps([vars(r) for r in par.rows], sort_keys=True)
+
+    def test_run_sweep_resume_roundtrip(self, tmp_path):
+        first, engine1 = run_sweep(
+            "view-split", range(2), workers=1, run_dir=tmp_path
+        )
+        resumed, engine2 = run_sweep(
+            "view-split", range(2), workers=1, run_dir=tmp_path, resume=True
+        )
+        assert engine2.executed == 0 and engine2.reused == 2
+        assert [vars(r) for r in first.rows] == [vars(r) for r in resumed.rows]

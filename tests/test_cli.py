@@ -81,6 +81,37 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "sweep of 'view-split'" in out
         assert "ALL" in out
+        assert "engine: workers=1" in out
+
+    def test_sweep_parallel_workers(self, capsys):
+        # Smoke: the process-pool path end to end through the CLI.
+        assert main(
+            ["sweep", "view-split", "--seeds", "2", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ALL" in out
+        assert "engine: workers=2" in out
+
+    def test_sweep_checkpoint_and_resume(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "sweep-run")
+        assert main(
+            ["sweep", "view-split", "--seeds", "2", "--run-dir", run_dir]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "executed=2 reused=0" in first
+        assert (tmp_path / "sweep-run" / "results.jsonl").exists()
+        assert main(
+            ["sweep", "view-split", "--seeds", "2", "--resume", run_dir]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "executed=0 reused=2" in second
+
+    def test_sweep_progress_lines(self, capsys):
+        assert main(
+            ["sweep", "view-split", "--seeds", "2", "--progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok]") == 2
 
     def test_sweep_unknown_scenario(self, capsys):
         assert main(["sweep", "nope"]) == 2
