@@ -50,7 +50,11 @@ Failure isolation
 A cell that raises is captured as a ``status == "error"`` result carrying
 the exception text and traceback — the sweep continues.  ``retries=k``
 re-runs a raising cell up to ``k`` extra times (inside the same worker)
-before recording the failure.
+before recording the failure.  ``retry_backoff=b`` sleeps between
+attempts with exponential backoff and jitter; the delays are *seeded from
+the cell key*, so they are identical across runs and worker layouts, and
+every delay actually slept is journalled in the result row
+(``retry_delays``) — a resumed sweep can be audited for flaky cells.
 
 Typical use::
 
@@ -79,6 +83,7 @@ import importlib
 import json
 import multiprocessing
 import os
+import random
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -97,6 +102,7 @@ __all__ = [
     "default_start_method",
     "load_results",
     "resolve_runner",
+    "retry_delay",
     "run_grid",
     "task_key",
 ]
@@ -180,6 +186,7 @@ class TaskResult:
     seconds: float = 0.0
     counters: dict = field(default_factory=dict)
     attempts: int = 1
+    retry_delays: list = field(default_factory=list)
     cached: bool = False  # True when loaded from a resume journal
 
     @property
@@ -197,6 +204,7 @@ class TaskResult:
             "seconds": self.seconds,
             "counters": self.counters,
             "attempts": self.attempts,
+            "retry_delays": self.retry_delays,
         }
 
     @classmethod
@@ -211,6 +219,7 @@ class TaskResult:
             seconds=float(data.get("seconds", 0.0)),
             counters=dict(data.get("counters") or {}),
             attempts=int(data.get("attempts", 1)),
+            retry_delays=[float(x) for x in data.get("retry_delays") or []],
         )
 
 
@@ -268,7 +277,27 @@ def default_start_method() -> str:
     return "fork" if "fork" in methods else multiprocessing.get_start_method()
 
 
-def _execute_task(spec: TaskSpec, retries: int) -> TaskResult:
+def retry_delay(key: str, attempt: int, backoff: float) -> float:
+    """Deterministic backoff before retry ``attempt`` of cell ``key``.
+
+    Exponential (``backoff * 2**(attempt-1)``) with multiplicative jitter
+    in ``[0.5, 1.0)`` drawn from a PRNG seeded by the *cell key and
+    attempt number* — ``random.Random(str)`` hashes the seed with
+    SHA-512, so the schedule is identical across runs, platforms, and
+    ``PYTHONHASHSEED`` values.  Jitter de-synchronises cells that fail
+    together (e.g. a shared resource hiccup) without sacrificing
+    reproducibility: the journalled ``retry_delays`` of a cell are a pure
+    function of ``(key, attempt, backoff)``.
+    """
+    if backoff <= 0.0:
+        return 0.0
+    rng = random.Random(f"{key}#retry{attempt}")
+    return backoff * (2 ** (attempt - 1)) * (0.5 + 0.5 * rng.random())
+
+
+def _execute_task(
+    spec: TaskSpec, retries: int, retry_backoff: float = 0.0
+) -> TaskResult:
     """Worker entry point: run one cell, measuring time and counters.
 
     Runs in a worker process (or inline for ``workers <= 1`` — the same
@@ -283,6 +312,7 @@ def _execute_task(spec: TaskSpec, retries: int) -> TaskResult:
     error: BaseException | None = None
     tb: str | None = None
     row: Any = None
+    delays: list[float] = []
     while attempts <= retries:
         attempts += 1
         try:
@@ -293,6 +323,11 @@ def _execute_task(spec: TaskSpec, retries: int) -> TaskResult:
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             error = exc
             tb = traceback.format_exc()
+            if attempts <= retries:
+                delay = retry_delay(spec.key, attempts, retry_backoff)
+                delays.append(delay)
+                if delay > 0.0:
+                    time.sleep(delay)
     seconds = time.perf_counter() - start
     counters = counters_since(before)
     if error is not None:
@@ -305,6 +340,7 @@ def _execute_task(spec: TaskSpec, retries: int) -> TaskResult:
             seconds=seconds,
             counters=counters,
             attempts=attempts,
+            retry_delays=delays,
         )
     return TaskResult(
         key=spec.key,
@@ -314,6 +350,7 @@ def _execute_task(spec: TaskSpec, retries: int) -> TaskResult:
         seconds=seconds,
         counters=counters,
         attempts=attempts,
+        retry_delays=delays,
     )
 
 
@@ -374,6 +411,7 @@ def run_grid(
     run_dir: str | Path | None = None,
     resume: bool = False,
     retries: int = 0,
+    retry_backoff: float = 0.0,
     start_method: str | None = None,
     on_result: Callable[[TaskResult], None] | None = None,
 ) -> EngineReport:
@@ -395,6 +433,10 @@ def run_grid(
         entry succeeded.  Previously *failed* cells are re-run.
     retries:
         Extra in-worker attempts for a cell that raises.
+    retry_backoff:
+        Base seconds of the deterministic exponential backoff slept
+        between attempts (see :func:`retry_delay`); ``0`` retries
+        immediately.  Delays slept are journalled per cell.
     start_method:
         Multiprocessing start method (default: :func:`default_start_method`).
     on_result:
@@ -438,7 +480,7 @@ def run_grid(
 
     if workers <= 1 or len(pending) <= 1:
         for spec in pending:
-            record(_execute_task(spec, retries))
+            record(_execute_task(spec, retries, retry_backoff))
     else:
         context = multiprocessing.get_context(
             start_method or default_start_method()
@@ -447,7 +489,8 @@ def run_grid(
             max_workers=min(workers, len(pending)), mp_context=context
         ) as pool:
             futures = [
-                pool.submit(_execute_task, spec, retries) for spec in pending
+                pool.submit(_execute_task, spec, retries, retry_backoff)
+                for spec in pending
             ]
             for future in as_completed(futures):
                 record(future.result())

@@ -37,6 +37,16 @@ def _polytope_from_obj(obj: dict[str, Any]) -> ConvexPolytope:
     return ConvexPolytope.from_points(verts, dim=int(obj["dim"]))
 
 
+def fault_plan_to_obj(plan: FaultPlan) -> dict[str, Any]:
+    """JSON-safe form of a fault plan (public: chaos bundles use this)."""
+    return _fault_plan_to_obj(plan)
+
+
+def fault_plan_from_obj(obj: dict[str, Any]) -> FaultPlan:
+    """Rebuild a fault plan from :func:`fault_plan_to_obj` output."""
+    return _fault_plan_from_obj(obj)
+
+
 def _fault_plan_to_obj(plan: FaultPlan) -> dict[str, Any]:
     return {
         "faulty": sorted(plan.faulty),

@@ -335,6 +335,7 @@ def run_sweep(
     run_dir=None,
     resume: bool = False,
     retries: int = 0,
+    retry_backoff: float = 0.0,
     scenario_kwargs: Mapping | None = None,
     on_result: Callable[[TaskResult], None] | None = None,
 ) -> tuple[SweepSummary, EngineReport]:
@@ -356,6 +357,7 @@ def run_sweep(
         run_dir=run_dir,
         resume=resume,
         retries=retries,
+        retry_backoff=retry_backoff,
         on_result=on_result,
     )
     return _summary_from_engine(report), report

@@ -1,0 +1,301 @@
+"""Seeded random generation over the fault space: (inputs × plans × schedules).
+
+The paper's guarantees quantify over *every* crash pattern and delivery
+schedule; hand-picked ``FaultPlan``s explore a measure-zero sliver of that
+space.  This module samples it: each :class:`FuzzCase` is a fully
+self-describing, JSON-safe recipe — workload, fault plan (including
+mid-broadcast :class:`~repro.runtime.faults.CrashSpec`\\ s), scheduler
+strategy, agreement parameter — derived deterministically from a single
+integer seed, so any case the fuzzer ever ran can be regenerated
+bit-for-bit from ``(config, seed)`` alone.
+
+Three sampling profiles pin the relationship to the Theorem 2 bound
+``n >= (d+2)f + 1``:
+
+* ``legal``        — ``n`` at or above the bound, ``|F| <= f``: every
+  invariant must hold; any violation is an implementation bug.
+* ``below-bound``  — ``n = (d+2)f`` (one below the bound,
+  ``enforce_resilience=False``): the paper *predicts* failures here
+  (Lemma 2's Tverberg argument needs the bound), and the fuzzer's
+  self-test demands it finds one.
+* ``beyond-bound`` — legal ``n`` but ``|F| = f + 1`` actual faults: a
+  probe past the model's premise, explicitly labeled so campaigns report
+  these violations as *expected* findings, not bugs.
+
+``mixed`` interleaves all three (deterministically, by seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.serialization import fault_plan_from_obj, fault_plan_to_obj
+from ..core.config import required_processes
+from ..core.runner import derive_bounds
+from ..runtime.faults import CrashSpec, FaultPlan
+from ..runtime.scheduler import (
+    AdaptiveAdversaryScheduler,
+    BurstyScheduler,
+    FifoFairScheduler,
+    RandomScheduler,
+    Scheduler,
+    TargetedDelayScheduler,
+)
+from ..workloads import inputs as gen
+
+LABEL_LEGAL = "legal"
+LABEL_BELOW = "below-bound"
+LABEL_BEYOND = "beyond-bound"
+
+PROFILES = (LABEL_LEGAL, LABEL_BELOW, LABEL_BEYOND, "mixed")
+
+#: Workload name -> (n, d, seed) -> inputs array.  A subset of the input
+#: catalogue that is well-defined for every (n, d) the generator emits.
+WORKLOAD_BUILDERS = {
+    "gaussian": lambda n, d, seed: gen.gaussian_cluster(n, d, seed=seed),
+    "uniform": lambda n, d, seed: gen.uniform_box(n, d, seed=seed),
+    "two-clusters": lambda n, d, seed: gen.two_clusters(n, d, seed=seed),
+    "collinear": lambda n, d, seed: gen.collinear(n, d, seed=seed),
+    "simplex": lambda n, d, seed: gen.simplex_corners(n, d),
+}
+
+#: Scheduler name -> (seed, slow pids) -> strategy instance.
+SCHEDULER_BUILDERS = {
+    "random": lambda seed, slow: RandomScheduler(seed=seed),
+    "fifo": lambda seed, slow: FifoFairScheduler(),
+    "bursty": lambda seed, slow: BurstyScheduler(seed=seed),
+    "targeted": lambda seed, slow: TargetedDelayScheduler(
+        slow=frozenset(slow), seed=seed
+    ),
+    "adaptive": lambda seed, slow: AdaptiveAdversaryScheduler(seed=seed),
+}
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of the fault-space sampler (see ``docs/FAULT_MODEL.md``).
+
+    Every field is JSON-safe; two configs with equal fields generate
+    identical case streams.
+    """
+
+    profile: str = LABEL_LEGAL
+    d_choices: tuple[int, ...] = (1, 2)
+    f_choices: tuple[int, ...] = (1,)
+    max_extra_processes: int = 2
+    workloads: tuple[str, ...] = ("gaussian", "uniform", "two-clusters", "collinear")
+    schedulers: tuple[str, ...] = ("random", "bursty", "targeted", "adaptive", "fifo")
+    eps_range: tuple[float, float] = (0.1, 0.4)
+    crash_probability: float = 0.8
+    outlier_probability: float = 0.5
+    outlier_magnitude: float = 3.0
+    max_crash_round: int = 2
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; choose from {PROFILES}"
+            )
+        unknown_w = set(self.workloads) - set(WORKLOAD_BUILDERS)
+        if unknown_w:
+            raise ValueError(f"unknown workloads: {sorted(unknown_w)}")
+        unknown_s = set(self.schedulers) - set(SCHEDULER_BUILDERS)
+        if unknown_s:
+            raise ValueError(f"unknown schedulers: {sorted(unknown_s)}")
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "profile": self.profile,
+            "d_choices": list(self.d_choices),
+            "f_choices": list(self.f_choices),
+            "max_extra_processes": self.max_extra_processes,
+            "workloads": list(self.workloads),
+            "schedulers": list(self.schedulers),
+            "eps_range": list(self.eps_range),
+            "crash_probability": self.crash_probability,
+            "outlier_probability": self.outlier_probability,
+            "outlier_magnitude": self.outlier_magnitude,
+            "max_crash_round": self.max_crash_round,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "FuzzConfig":
+        return cls(
+            profile=data["profile"],
+            d_choices=tuple(data["d_choices"]),
+            f_choices=tuple(data["f_choices"]),
+            max_extra_processes=int(data["max_extra_processes"]),
+            workloads=tuple(data["workloads"]),
+            schedulers=tuple(data["schedulers"]),
+            eps_range=tuple(data["eps_range"]),
+            crash_probability=float(data["crash_probability"]),
+            outlier_probability=float(data["outlier_probability"]),
+            outlier_magnitude=float(data["outlier_magnitude"]),
+            max_crash_round=int(data["max_crash_round"]),
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One sampled point of the fault space, fully JSON-serialisable.
+
+    The case carries everything needed to *rebuild* the scenario
+    (``build_inputs`` / ``build_plan`` / ``build_scheduler``), and a repro
+    bundle additionally pins the built artefacts so replays survive
+    generator evolution.
+    """
+
+    case_id: str
+    seed: int
+    label: str
+    n: int
+    d: int
+    f: int
+    eps: float
+    workload: str
+    scheduler: str
+    scheduler_seed: int
+    fault_plan: dict = field(default_factory=dict)
+    outlier_pids: tuple[int, ...] = ()
+    outlier_magnitude: float = 3.0
+    enforce_resilience: bool = True
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "case_id": self.case_id,
+            "seed": self.seed,
+            "label": self.label,
+            "n": self.n,
+            "d": self.d,
+            "f": self.f,
+            "eps": self.eps,
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "scheduler_seed": self.scheduler_seed,
+            "fault_plan": self.fault_plan,
+            "outlier_pids": list(self.outlier_pids),
+            "outlier_magnitude": self.outlier_magnitude,
+            "enforce_resilience": self.enforce_resilience,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "FuzzCase":
+        return cls(
+            case_id=str(data["case_id"]),
+            seed=int(data["seed"]),
+            label=str(data["label"]),
+            n=int(data["n"]),
+            d=int(data["d"]),
+            f=int(data["f"]),
+            eps=float(data["eps"]),
+            workload=str(data["workload"]),
+            scheduler=str(data["scheduler"]),
+            scheduler_seed=int(data["scheduler_seed"]),
+            fault_plan=dict(data["fault_plan"]),
+            outlier_pids=tuple(int(p) for p in data["outlier_pids"]),
+            outlier_magnitude=float(data["outlier_magnitude"]),
+            enforce_resilience=bool(data["enforce_resilience"]),
+        )
+
+
+def build_inputs(case: FuzzCase) -> tuple[np.ndarray, tuple[float, float]]:
+    """The case's input array and a-priori bounds, deterministically."""
+    points = WORKLOAD_BUILDERS[case.workload](case.n, case.d, case.seed)
+    if case.outlier_pids:
+        points = gen.with_outliers(
+            points,
+            list(case.outlier_pids),
+            magnitude=case.outlier_magnitude,
+            seed=case.seed,
+        )
+    return points, derive_bounds(points, margin=0.1)
+
+
+def build_plan(case: FuzzCase) -> FaultPlan:
+    """The case's fault plan (validated against ``case.n``)."""
+    return fault_plan_from_obj(case.fault_plan).validate(case.n)
+
+
+def build_scheduler(case: FuzzCase) -> Scheduler:
+    """A fresh scheduler instance for the case's strategy."""
+    slow = sorted(case.fault_plan.get("faulty", []))
+    return SCHEDULER_BUILDERS[case.scheduler](case.scheduler_seed, slow)
+
+
+def _pick(rng: np.random.Generator, options) -> Any:
+    return options[int(rng.integers(0, len(options)))]
+
+
+def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
+    """Sample one :class:`FuzzCase` — pure function of (config, seed)."""
+    rng = np.random.default_rng(seed)
+    if config.profile == "mixed":
+        # 60% legal, 20% each probe — deterministic by seed.
+        roll = rng.random()
+        label = LABEL_LEGAL if roll < 0.6 else (
+            LABEL_BELOW if roll < 0.8 else LABEL_BEYOND
+        )
+    else:
+        label = config.profile
+
+    d = int(_pick(rng, config.d_choices))
+    f = int(_pick(rng, config.f_choices))
+    bound = required_processes(d, f)
+    if label == LABEL_BELOW:
+        n = bound - 1
+        fault_count = f
+    elif label == LABEL_BEYOND:
+        n = bound + int(rng.integers(0, config.max_extra_processes + 1))
+        fault_count = f + 1
+    else:
+        n = bound + int(rng.integers(0, config.max_extra_processes + 1))
+        fault_count = f
+    fault_count = min(fault_count, n - 1)
+
+    faulty = sorted(
+        int(p) for p in rng.choice(n, size=fault_count, replace=False)
+    )
+    crashes: dict[int, CrashSpec] = {}
+    for pid in faulty:
+        if rng.random() < config.crash_probability:
+            crashes[pid] = CrashSpec(
+                round_index=int(rng.integers(0, config.max_crash_round + 1)),
+                after_sends=int(rng.integers(0, 2 * n)),
+            )
+    if label == LABEL_BELOW and faulty and not crashes:
+        # A below-bound probe without any crash frequently degenerates to
+        # the benign schedule; force at least one mid-broadcast crash so
+        # the probe actually exercises the Tverberg boundary.
+        pid = faulty[0]
+        crashes[pid] = CrashSpec(
+            round_index=0, after_sends=int(rng.integers(0, n))
+        )
+    outlier_pids = tuple(
+        pid for pid in faulty if rng.random() < config.outlier_probability
+    )
+    plan = FaultPlan(faulty=frozenset(faulty), crashes=crashes)
+
+    lo, hi = config.eps_range
+    eps = float(np.round(lo + (hi - lo) * rng.random(), 4))
+    workload = str(_pick(rng, config.workloads))
+    scheduler = str(_pick(rng, config.schedulers))
+
+    return FuzzCase(
+        case_id=f"{label}-s{seed}",
+        seed=int(seed),
+        label=label,
+        n=n,
+        d=d,
+        f=f,
+        eps=eps,
+        workload=workload,
+        scheduler=scheduler,
+        scheduler_seed=int(seed),
+        fault_plan=fault_plan_to_obj(plan),
+        outlier_pids=outlier_pids,
+        outlier_magnitude=config.outlier_magnitude,
+        enforce_resilience=label != LABEL_BELOW,
+    )

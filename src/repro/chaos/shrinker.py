@@ -1,0 +1,255 @@
+"""Counterexample shrinking: delta-debug a violating case to local minimum.
+
+A raw fuzz hit is noisy — several crashed processes, crash cuts deep into
+a broadcast, thousands of recorded delivery decisions, most of them
+irrelevant.  The shrinker reduces along three axes, re-running the case
+after every candidate reduction and keeping it only if the *same
+violation kind* still fires:
+
+1. **Drop faulty processes** — remove a pid from the fault plan entirely
+   (it becomes a correct process with its current input).
+2. **Reduce crash specs** — push ``after_sends`` toward 0 (crash before
+   the broadcast rather than mid-way) and ``round_index`` toward 0,
+   greedily with halving steps.
+3. **Shrink the schedule** — ddmin over the recorded decision list:
+   remove contiguous segments at halving granularity down to single
+   decisions (greedy prefix removal falls out of the first pass).  The
+   edited list stays executable because
+   :class:`~repro.runtime.scheduler.ReplayScheduler` skips unmatchable
+   decisions and falls back deterministically when the list runs dry.
+
+The result is *locally minimal*: no single remaining reduction of any
+axis preserves the violation (unless the run budget was exhausted first,
+which the result reports honestly via ``minimal=False``).
+
+Every candidate evaluation is one deterministic simulation; violating
+candidates abort at the violation (online checking), so shrinking cost
+is dominated by the *shortest* reproductions, not the original one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .generator import FuzzCase
+from .runner import FuzzOutcome, ViolationRecord, replay_case
+
+Schedule = tuple[tuple[int, int], ...]
+
+
+@dataclass
+class ShrinkResult:
+    """A locally-minimal counterexample plus the path that led to it."""
+
+    case: FuzzCase
+    plan_obj: dict[str, Any]
+    schedule: Schedule
+    violation: ViolationRecord
+    outcome: FuzzOutcome
+    runs: int = 0
+    minimal: bool = False
+    reductions: list[str] = field(default_factory=list)
+
+    @property
+    def schedule_len(self) -> int:
+        return len(self.schedule)
+
+
+def _drop_pid(plan_obj: dict[str, Any], pid: int) -> dict[str, Any]:
+    """The plan with ``pid`` fully healthy (correct input, no crash)."""
+    out = {
+        "faulty": [p for p in plan_obj["faulty"] if p != pid],
+        "crashes": {
+            key: spec
+            for key, spec in plan_obj["crashes"].items()
+            if int(key) != pid
+        },
+        "incorrect_inputs": plan_obj.get("incorrect_inputs"),
+    }
+    if out["incorrect_inputs"] is not None:
+        out["incorrect_inputs"] = [
+            p for p in out["incorrect_inputs"] if p != pid
+        ]
+    return out
+
+
+def _with_crash(
+    plan_obj: dict[str, Any], pid: int, round_index: int, after_sends: int
+) -> dict[str, Any]:
+    out = {
+        "faulty": list(plan_obj["faulty"]),
+        "crashes": dict(plan_obj["crashes"]),
+        "incorrect_inputs": plan_obj.get("incorrect_inputs"),
+    }
+    out["crashes"][str(pid)] = [round_index, after_sends]
+    return out
+
+
+def _halving_candidates(value: int) -> list[int]:
+    """0, value//2, value-1 ... the greedy reduction ladder for one int."""
+    ladder = []
+    for candidate in (0, value // 2, value - 1):
+        if 0 <= candidate < value and candidate not in ladder:
+            ladder.append(candidate)
+    return ladder
+
+
+def shrink(
+    outcome: FuzzOutcome,
+    *,
+    max_runs: int = 300,
+    on_reduction: Callable[[str], None] | None = None,
+) -> ShrinkResult:
+    """Delta-debug a violating outcome down to a locally-minimal one.
+
+    ``max_runs`` caps the number of candidate simulations (the shrink is
+    abandoned mid-way if exhausted; the best-so-far reduction is still
+    returned, flagged non-minimal).
+    """
+    if outcome.violation is None:
+        raise ValueError("can only shrink a violating outcome")
+    case = outcome.case
+    kind = outcome.violation.kind
+    plan_obj: dict[str, Any] = {
+        "faulty": list(case.fault_plan["faulty"]),
+        "crashes": {
+            key: list(spec) for key, spec in case.fault_plan["crashes"].items()
+        },
+        "incorrect_inputs": case.fault_plan.get("incorrect_inputs"),
+    }
+    schedule: Schedule = tuple(outcome.schedule)
+
+    state = {"runs": 0, "best": outcome}
+    reductions: list[str] = []
+
+    def note(text: str) -> None:
+        reductions.append(text)
+        if on_reduction is not None:
+            on_reduction(text)
+
+    def attempt(candidate_plan: dict[str, Any], candidate_schedule: Schedule):
+        """One candidate execution; returns its outcome iff it violates."""
+        if state["runs"] >= max_runs:
+            return None
+        state["runs"] += 1
+        result = replay_case(case, candidate_plan, candidate_schedule)
+        if (
+            result.status == "violation"
+            and result.violation is not None
+            and result.violation.kind == kind
+        ):
+            return result
+        return None
+
+    # Sanity: the recorded schedule must reproduce the original violation.
+    # (It always does — the recording *is* the execution — but a failed
+    # replay here would mean a determinism bug, the worst kind; refuse to
+    # "shrink" into a different bug.)
+    baseline = attempt(plan_obj, schedule)
+    if baseline is None:
+        return ShrinkResult(
+            case=case,
+            plan_obj=plan_obj,
+            schedule=schedule,
+            violation=outcome.violation,
+            outcome=outcome,
+            runs=state["runs"],
+            minimal=False,
+            reductions=["replay-mismatch: recorded schedule did not reproduce"],
+        )
+    state["best"] = baseline
+
+    def budget_left() -> bool:
+        return state["runs"] < max_runs
+
+    progress = True
+    while progress and budget_left():
+        progress = False
+
+        # Pass 1 — drop whole faulty processes.
+        for pid in sorted(plan_obj["faulty"]):
+            candidate = _drop_pid(plan_obj, pid)
+            result = attempt(candidate, schedule)
+            if result is not None:
+                plan_obj = candidate
+                state["best"] = result
+                note(f"dropped faulty process {pid}")
+                progress = True
+
+        # Pass 2 — reduce crash specs (after_sends first, then round).
+        for key in sorted(plan_obj["crashes"]):
+            pid = int(key)
+            round_index, after_sends = plan_obj["crashes"][key]
+            while after_sends > 0 and budget_left():
+                for candidate_sends in _halving_candidates(after_sends):
+                    candidate = _with_crash(
+                        plan_obj, pid, round_index, candidate_sends
+                    )
+                    result = attempt(candidate, schedule)
+                    if result is not None:
+                        plan_obj = candidate
+                        state["best"] = result
+                        note(
+                            f"crash({pid}): after_sends "
+                            f"{after_sends} -> {candidate_sends}"
+                        )
+                        after_sends = candidate_sends
+                        progress = True
+                        break
+                else:
+                    break
+            while round_index > 0 and budget_left():
+                for candidate_round in _halving_candidates(round_index):
+                    candidate = _with_crash(
+                        plan_obj, pid, candidate_round, after_sends
+                    )
+                    result = attempt(candidate, schedule)
+                    if result is not None:
+                        plan_obj = candidate
+                        state["best"] = result
+                        note(
+                            f"crash({pid}): round "
+                            f"{round_index} -> {candidate_round}"
+                        )
+                        round_index = candidate_round
+                        progress = True
+                        break
+                else:
+                    break
+
+        # Pass 3 — ddmin the schedule (prefix removal is segment removal
+        # at offset 0, so it is covered by the first iteration).
+        segment = max(len(schedule) // 2, 1)
+        while segment >= 1 and budget_left():
+            removed = False
+            offset = 0
+            while offset < len(schedule) and budget_left():
+                candidate = schedule[:offset] + schedule[offset + segment:]
+                result = attempt(plan_obj, candidate)
+                if result is not None:
+                    note(
+                        f"schedule: removed decisions "
+                        f"[{offset}:{offset + segment}] "
+                        f"({len(schedule)} -> {len(candidate)})"
+                    )
+                    schedule = candidate
+                    state["best"] = result
+                    removed = True
+                    progress = True
+                else:
+                    offset += segment
+            if segment == 1 and not removed:
+                break
+            segment = max(segment // 2, 1) if not removed else segment
+
+    return ShrinkResult(
+        case=case,
+        plan_obj=plan_obj,
+        schedule=schedule,
+        violation=state["best"].violation,
+        outcome=state["best"],
+        runs=state["runs"],
+        minimal=not progress and budget_left(),
+        reductions=reductions,
+    )

@@ -8,6 +8,11 @@ Commands
 ``sweep``           run a scenario across seeds — ``--workers N`` shards the
                     grid over a process pool, ``--run-dir DIR`` checkpoints
                     each cell, ``--resume DIR`` skips completed cells
+``fuzz``            randomized fault-space fuzzing (the chaos engine):
+                    seeded campaigns with shrinking and repro bundles,
+                    ``--replay bundle.json`` re-executes a counterexample
+                    bit-identically, ``--until-violation`` hunts for the
+                    first failure
 ``list-scenarios``  enumerate the named scenarios
 ``experiments``     print the DESIGN.md experiment index
 
@@ -208,6 +213,7 @@ def cmd_sweep(args) -> int:
         run_dir=run_dir,
         resume=args.resume is not None,
         retries=args.retries,
+        retry_backoff=args.retry_backoff,
         on_result=on_result,
     )
     print(
@@ -231,6 +237,124 @@ def cmd_sweep(args) -> int:
         if row.status == "error":
             print(f"seed {row.seed} ERROR: {row.error}", file=sys.stderr)
     return 0 if summary.all_ok else 1
+
+
+def cmd_fuzz(args) -> int:
+    from .chaos import (
+        FuzzConfig,
+        hunt,
+        load_bundle,
+        make_bundle,
+        replay_bundle,
+        run_campaign,
+        write_bundle,
+    )
+
+    if args.replay is not None:
+        bundle = load_bundle(args.replay)
+        outcome, identical = replay_bundle(bundle)
+        kind = outcome.violation.kind if outcome.violation else "-"
+        print(
+            f"replayed {outcome.case.case_id}: status={outcome.status} "
+            f"kind={kind} schedule={len(outcome.schedule)} "
+            f"fingerprint={'match' if identical else 'MISMATCH'}"
+        )
+        if not identical:
+            print(
+                "replay diverged from the recorded execution — "
+                "determinism bug or stale bundle",
+                file=sys.stderr,
+            )
+        return 0 if identical else 1
+
+    config = FuzzConfig(profile=args.profile)
+
+    if args.until_violation:
+        found = hunt(
+            config,
+            budget=args.iterations,
+            seed0=args.seed,
+            shrink_violations=args.shrink,
+        )
+        if found is None:
+            print(
+                f"no violation in {args.iterations} cases "
+                f"(profile={args.profile}, seed0={args.seed})"
+            )
+            return 0
+        outcome, shrink_result, tried = found
+        print(
+            f"violation after {tried} cases: {outcome.case.case_id} "
+            f"kind={outcome.violation.kind} "
+            f"(n={outcome.case.n}, d={outcome.case.d}, f={outcome.case.f})"
+        )
+        if shrink_result is not None:
+            print(
+                f"shrunk: schedule {len(outcome.schedule)} -> "
+                f"{len(shrink_result.schedule)}, "
+                f"{shrink_result.runs} replays, "
+                f"minimal={shrink_result.minimal}"
+            )
+            for step in shrink_result.reductions:
+                print(f"  - {step}")
+        if args.bundle_dir is not None:
+            from pathlib import Path
+
+            bundle = make_bundle(outcome, shrink_result=shrink_result)
+            path = write_bundle(
+                bundle,
+                Path(args.bundle_dir) / f"{outcome.case.case_id}.json",
+            )
+            print(f"repro bundle: {path}")
+        return 1
+
+    on_result = None
+    if args.progress:
+
+        def on_result(result) -> None:
+            status = (
+                result.row["status"]
+                if result.ok and result.row
+                else result.status
+            )
+            print(f"  [{status}] {result.key} ({result.seconds:.2f}s)")
+
+    run_dir = args.resume if args.resume is not None else args.run_dir
+    summary = run_campaign(
+        config,
+        args.iterations,
+        seed0=args.seed,
+        workers=args.workers,
+        run_dir=run_dir,
+        resume=args.resume is not None,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        shrink_violations=args.shrink,
+        bundle_dir=args.bundle_dir,
+        on_result=on_result,
+    )
+    print(summary.triage_table())
+    engine = summary.report
+    print(
+        f"campaign: {args.iterations} cases, ok={summary.ok} "
+        f"violations={len(summary.violations)} "
+        f"(expected={len(summary.expected_violations)}, "
+        f"unexpected={len(summary.unexpected_violations)}) "
+        f"errors={summary.errors} | workers={engine.workers} "
+        f"executed={engine.executed} reused={engine.reused} "
+        f"wall={engine.wall_seconds:.2f}s"
+    )
+    if engine.run_dir is not None:
+        print(f"checkpoints: {engine.run_dir}")
+    for path in summary.bundle_paths:
+        print(f"repro bundle: {path}")
+    for row in summary.unexpected_violations:
+        print(
+            f"UNEXPECTED: {row['case_id']} -> {row['violation']['kind']}: "
+            f"{row['violation']['detail']}",
+            file=sys.stderr,
+        )
+    return 1 if summary.unexpected_violations or summary.errors else 0
 
 
 def cmd_list_scenarios(_args) -> int:
@@ -320,11 +444,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts for a cell that raises (default 0)",
     )
     p_sweep.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base of the deterministic exponential backoff between "
+        "retry attempts (default 0 = immediate)",
+    )
+    p_sweep.add_argument(
         "--progress",
         action="store_true",
         help="print one line per completed cell",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="randomized fault-space fuzzing with shrinking and repro bundles",
+    )
+    p_fuzz.add_argument(
+        "--iterations",
+        type=int,
+        default=50,
+        help="number of fuzz cases (or hunt budget with --until-violation)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="first case seed (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--profile",
+        default="legal",
+        choices=["legal", "below-bound", "beyond-bound", "mixed"],
+        help="sampling profile relative to the n >= (d+2)f+1 bound",
+    )
+    p_fuzz.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for campaigns (default 1)",
+    )
+    p_fuzz.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint completed cases to DIR/results.jsonl",
+    )
+    p_fuzz.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume a checkpointed campaign (implies --run-dir DIR)",
+    )
+    p_fuzz.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for a case whose harness raises (default 0)",
+    )
+    p_fuzz.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="deterministic exponential backoff base between retries",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        dest="shrink",
+        action="store_false",
+        help="skip counterexample shrinking on violations",
+    )
+    p_fuzz.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        default=None,
+        help="write repro bundles for violations to DIR/<case_id>.json",
+    )
+    p_fuzz.add_argument(
+        "--until-violation",
+        action="store_true",
+        help="fuzz sequentially until the first violation, shrink it, exit 1",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        metavar="BUNDLE",
+        default=None,
+        help="re-execute a repro bundle and verify bit-identity",
+    )
+    p_fuzz.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed case",
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_list = sub.add_parser("list-scenarios", help="list named scenarios")
     p_list.set_defaults(func=cmd_list_scenarios)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..geometry.hausdorff import disagreement_diameter, hausdorff_distance
 from ..geometry.intersection import optimal_polytope_iz
 from ..geometry.polytope import ConvexPolytope
@@ -228,3 +230,123 @@ def check_all(trace: ExecutionTrace, tol: float = INVARIANT_TOL) -> FullReport:
         optimality=check_optimality(trace, tol=tol),
         stable_vector=check_stable_vector(trace),
     )
+
+
+class OnlineViolation(RuntimeError):
+    """First invariant violation observed by a streaming checker.
+
+    Raised *during* a simulated execution, aborting it — the chaos
+    fuzzer's per-case cost for a violating run is then proportional to
+    how early the violation occurs, not to the full execution length.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        detail: str,
+        *,
+        pid: int | None = None,
+        round_index: int | None = None,
+    ):
+        super().__init__(f"{kind} violated: {detail}")
+        self.kind = kind
+        self.detail = detail
+        self.pid = pid
+        self.round_index = round_index
+
+
+class StreamingInvariantChecker:
+    """Incremental per-delivery checking of the streamable invariants.
+
+    Validity and the stable-vector properties are *prefix-closed*: a
+    violation is visible the moment the offending state or view is
+    recorded, so they can be checked online against the live
+    :class:`~repro.runtime.tracing.ProcessTrace` objects while the
+    simulator runs.  (ε-Agreement, Termination, and Lemma 6 containment
+    are end-state properties; runs that complete cleanly still go
+    through :func:`check_all` post-hoc.)
+
+    Wire-up: pass an instance as ``observer=`` to
+    :func:`~repro.core.runner.run_convex_hull_consensus`; the runner
+    calls :meth:`bind` before the run and :meth:`poll` after every
+    delivery.  Each poll examines only states and views recorded since
+    the previous poll — total online-checking cost over a run is
+    O(states + views), the same as one post-hoc pass.
+    """
+
+    def __init__(self, tol: float = INVARIANT_TOL):
+        self.tol = tol
+        self.polls = 0
+        self.states_checked = 0
+        self.views_checked = 0
+        self._traces = None
+
+    def bind(self, traces, fault_plan, config) -> "StreamingInvariantChecker":
+        """Attach to the live traces of a run about to start."""
+        self._traces = list(traces)
+        self._n = config.n
+        self._f = config.f
+        incorrect = fault_plan.incorrect
+        rows = [t.input_point for t in self._traces if t.pid not in incorrect]
+        self._correct_hull = ConvexPolytope.from_points(np.array(rows))
+        self._seen_states: dict[int, set[int]] = {
+            t.pid: set() for t in self._traces
+        }
+        self._views: dict[int, frozenset] = {}
+        return self
+
+    def poll(self) -> None:
+        """Check everything recorded since the last poll; raise on violation."""
+        if self._traces is None:
+            raise RuntimeError("poll() before bind(); attach to a run first")
+        self.polls += 1
+        for proc in self._traces:
+            if proc.r_view is not None and proc.pid not in self._views:
+                self._check_view(proc.pid, proc.r_view)
+            seen = self._seen_states[proc.pid]
+            if len(proc.states) != len(seen):
+                for t in sorted(set(proc.states) - seen):
+                    seen.add(t)
+                    self._check_state(proc.pid, t, proc.states[t])
+
+    # ------------------------------------------------------------------
+    def _check_view(self, pid: int, r_view) -> None:
+        view = frozenset(r_view)
+        self.views_checked += 1
+        if len(view) < self._n - self._f:
+            raise OnlineViolation(
+                "stable-vector-liveness",
+                f"process {pid} stabilised on |R_i|={len(view)} < "
+                f"n-f={self._n - self._f}",
+                pid=pid,
+                round_index=0,
+            )
+        for other_pid, other in self._views.items():
+            if not (view <= other or other <= view):
+                raise OnlineViolation(
+                    "stable-vector-containment",
+                    f"views of processes {other_pid} and {pid} are not "
+                    f"inclusion-comparable "
+                    f"(|{other_pid}|={len(other)}, |{pid}|={len(view)})",
+                    pid=pid,
+                    round_index=0,
+                )
+        self._views[pid] = view
+
+    def _check_state(self, pid: int, t: int, state: ConvexPolytope) -> None:
+        self.states_checked += 1
+        excess = max(
+            (
+                self._correct_hull.distance_to_point(v)
+                for v in state.vertices
+            ),
+            default=0.0,
+        )
+        if excess > self.tol:
+            raise OnlineViolation(
+                "validity",
+                f"h_{pid}[{t}] exceeds the hull of correct inputs by "
+                f"{excess:.6g}",
+                pid=pid,
+                round_index=t,
+            )

@@ -92,6 +92,7 @@ def run_convex_hull_consensus(
     seed: int = 0,
     input_bounds: tuple[float, float] | None = None,
     enforce_resilience: bool = True,
+    observer=None,
 ) -> CCResult:
     """Run Algorithm CC on the given inputs under the given adversary.
 
@@ -115,6 +116,12 @@ def run_convex_hull_consensus(
         The a-priori ``[mu, U]``; derived from ``inputs`` when omitted.
     enforce_resilience:
         Set False to deliberately run below ``n >= (d+2)f+1``.
+    observer:
+        Optional streaming checker (e.g. :class:`~repro.core.invariants.
+        StreamingInvariantChecker`): ``observer.bind(traces, plan, config)``
+        is called before the run and ``observer.poll()`` after every
+        delivery; a poll may raise to abort the execution early (the
+        chaos engine's online invariant checking).
 
     Returns a :class:`CCResult`; raises
     :class:`~repro.core.algorithm_cc.EmptyInitialPolytopeError` if the
@@ -139,7 +146,13 @@ def run_convex_hull_consensus(
         CCProcess(pid=i, config=config, input_point=pts[i], trace=traces[i])
         for i in range(config.n)
     ]
-    report = run_simulation(cores, fault_plan=plan, scheduler=sched)
+    on_deliver = None
+    if observer is not None:
+        observer.bind(traces, plan, config)
+        on_deliver = observer.poll
+    report = run_simulation(
+        cores, fault_plan=plan, scheduler=sched, on_deliver=on_deliver
+    )
 
     trace = ExecutionTrace(
         n=config.n,

@@ -20,9 +20,12 @@ from .messages import (
 from .network import Channel, ChannelError, Network
 from .process import Outgoing, ProcessShell, ProtocolCore
 from .scheduler import (
+    AdaptiveAdversaryScheduler,
     BurstyScheduler,
     FifoFairScheduler,
     RandomScheduler,
+    ReplayScheduler,
+    ScheduleRecorder,
     Scheduler,
     TargetedDelayScheduler,
     default_scheduler,
@@ -32,6 +35,7 @@ from .stable_vector import StableVectorEngine
 from .tracing import ExecutionTrace, ProcessTrace
 
 __all__ = [
+    "AdaptiveAdversaryScheduler",
     "BurstyScheduler",
     "Channel",
     "ChannelError",
@@ -47,7 +51,9 @@ __all__ = [
     "ProcessTrace",
     "ProtocolCore",
     "RandomScheduler",
+    "ReplayScheduler",
     "RoundMessage",
+    "ScheduleRecorder",
     "SVInit",
     "SVView",
     "Scheduler",

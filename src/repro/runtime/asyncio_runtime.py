@@ -137,7 +137,7 @@ def run_asyncio_simulation(
     report format; accepts the same cores and fault plans.
     """
     n = len(cores)
-    plan = fault_plan or FaultPlan.none()
+    plan = (fault_plan or FaultPlan.none()).validate(n)
     runtime = _AsyncRuntime(n, seed=seed, max_delay=max_delay)
     transport = _AsyncTransport(n, runtime)
     shells = [

@@ -60,6 +60,18 @@ class FaultPlan:
     incorrect_inputs: frozenset[int] | None = None
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, n: int | None = None) -> "FaultPlan":
+        """Check internal consistency; with ``n``, also check pid ranges.
+
+        ``__post_init__`` runs the n-free part at construction, but
+        ``crashes`` is a mutable dict and pids can only be range-checked
+        once the system size is known — so the simulators re-validate
+        against ``n`` before a run.  An inconsistent plan previously
+        surfaced as an opaque ``KeyError``/silent no-op deep inside the
+        delivery loop; this raises immediately with the actual mistake.
+        """
         unknown = set(self.crashes) - set(self.faulty)
         if unknown:
             raise ValueError(
@@ -71,6 +83,22 @@ class FaultPlan:
                 raise ValueError(
                     f"incorrect inputs at non-faulty processes: {sorted(stray)}"
                 )
+        for pid, spec in self.crashes.items():
+            if not isinstance(spec, CrashSpec):
+                raise ValueError(
+                    f"crash spec for process {pid} is {type(spec).__name__}, "
+                    f"expected CrashSpec"
+                )
+        if n is not None:
+            out_of_range = sorted(
+                pid for pid in self.faulty if not 0 <= pid < n
+            )
+            if out_of_range:
+                raise ValueError(
+                    f"faulty pids {out_of_range} outside the system "
+                    f"(valid pids: 0..{n - 1})"
+                )
+        return self
 
     @property
     def incorrect(self) -> frozenset[int]:

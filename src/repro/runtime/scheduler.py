@@ -19,10 +19,28 @@ Strategies:
   messages from them").
 * :class:`BurstyScheduler` — delivers in randomly sized bursts per source,
   creating heavy round skew between processes.
+* :class:`AdaptiveAdversaryScheduler` — *adaptive* starvation: at every
+  step it targets the process that has received the fewest deliveries so
+  far and withholds its messages, so the victim changes as the execution
+  unfolds (unlike :class:`TargetedDelayScheduler`'s fixed slow set).
+
+Two meta-strategies support the chaos engine's deterministic repro
+bundles (:mod:`repro.chaos`):
+
+* :class:`ScheduleRecorder` wraps any scheduler and records every
+  decision as a ``(src, dst)`` channel id;
+* :class:`ReplayScheduler` replays such a decision list, pinning an
+  execution bit-for-bit — and degrades deterministically when the list
+  has been edited (the shrinker removes segments) or exhausted.
+
+Every strategy honours :meth:`Scheduler.reset`: after a reset, the same
+instance driven by the same head sequences makes the same decisions —
+the property repro bundles and seed sweeps are built on.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -136,6 +154,97 @@ class BurstyScheduler(Scheduler):
         self._remaining = int(self._rng.integers(1, self.max_burst + 1)) - 1
         candidates = [k for k, env in enumerate(heads) if env.src == self._current_src]
         return candidates[int(self._rng.integers(0, len(candidates)))]
+
+
+@dataclass
+class AdaptiveAdversaryScheduler(Scheduler):
+    """Starve whichever process has received the fewest messages so far.
+
+    At each step the target is the destination (among the current heads)
+    with the lowest delivery count, ties broken by pid; heads addressed
+    to it are withheld while anything else is deliverable.  This chases
+    the straggler adaptively: once starvation forces a quorum elsewhere
+    and the victim's backlog becomes the only deliverable traffic, a
+    burst of deliveries promotes a new victim.  The adversary the
+    correctness proofs quantify over is exactly this kind of
+    execution-aware strategy, which fixed slow sets cannot express.
+    """
+
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _delivered: Counter = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._delivered = Counter()
+
+    def choose(self, heads: list[Envelope]) -> int:
+        destinations = {env.dst for env in heads}
+        target = min(destinations, key=lambda d: (self._delivered[d], d))
+        pool = [k for k, env in enumerate(heads) if env.dst != target]
+        if not pool:
+            pool = list(range(len(heads)))
+        pick = pool[int(self._rng.integers(0, len(pool)))]
+        self._delivered[heads[pick].dst] += 1
+        return pick
+
+
+@dataclass
+class ScheduleRecorder(Scheduler):
+    """Record every decision of an inner scheduler as a ``(src, dst)`` pair.
+
+    Channel heads are unique per ``(src, dst)`` (the network offers one
+    head per channel), so the pair identifies the decision exactly and —
+    unlike a raw index — stays meaningful when a shrunk decision list is
+    replayed against a slightly different head set.
+    """
+
+    inner: Scheduler
+    decisions: list[tuple[int, int]] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.decisions.clear()
+
+    def choose(self, heads: list[Envelope]) -> int:
+        pick = self.inner.choose(heads)
+        env = heads[pick]
+        self.decisions.append((env.src, env.dst))
+        return pick
+
+
+@dataclass
+class ReplayScheduler(Scheduler):
+    """Replay a recorded ``(src, dst)`` decision list deterministically.
+
+    Replaying an unmodified recording against the execution it came from
+    matches every decision exactly, reproducing the run bit-for-bit.
+    When the chaos shrinker has removed decisions (or the list runs out),
+    unmatchable entries are skipped and the fallback is the first head in
+    the network's deterministic ``(src, dst)`` order — so *every* edited
+    decision list still defines exactly one execution.
+    """
+
+    decisions: tuple[tuple[int, int], ...] = ()
+    _cursor: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.decisions = tuple((int(s), int(d)) for s, d in self.decisions)
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(self, heads: list[Envelope]) -> int:
+        index_of = {(env.src, env.dst): k for k, env in enumerate(heads)}
+        while self._cursor < len(self.decisions):
+            decision = self.decisions[self._cursor]
+            self._cursor += 1
+            if decision in index_of:
+                return index_of[decision]
+        return 0
 
 
 def default_scheduler(seed: int = 0) -> Scheduler:

@@ -20,6 +20,7 @@ seeded executions are bit-for-bit unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..geometry.cache import PERF
 from .faults import FaultPlan
@@ -58,6 +59,7 @@ def run_simulation(
     *,
     max_steps: int | None = None,
     require_all_fault_free_decide: bool = True,
+    on_deliver: Callable[[], None] | None = None,
 ) -> SimulationReport:
     """Drive the cores to quiescence under the given adversary.
 
@@ -68,9 +70,14 @@ def run_simulation(
 
     With ``require_all_fault_free_decide`` (the Termination property) the
     run fails loudly if a non-crashed process ends undecided.
+
+    ``on_deliver`` is invoked after every delivery (and once after the
+    initial fan-out): the chaos engine's streaming invariant checker
+    hooks in here and aborts the run by raising on the first violation,
+    instead of paying for the whole execution and checking post-hoc.
     """
     n = len(cores)
-    plan = fault_plan or FaultPlan.none()
+    plan = (fault_plan or FaultPlan.none()).validate(n)
     sched = scheduler or default_scheduler()
     network = Network(n)
     shells = [
@@ -97,6 +104,8 @@ def run_simulation(
     # per-iteration liveness rescan would first have observed them.
     for shell in shells:
         note_crash(shell)
+    if on_deliver is not None:
+        on_deliver()
 
     steps = 0
     while network.has_ready:
@@ -114,6 +123,8 @@ def run_simulation(
         # Only the shell that just dispatched can have crashed: crash
         # specs fire while *sending*, and sends happen inside receive().
         note_crash(receiver)
+        if on_deliver is not None:
+            on_deliver()
 
     decided = [s.pid for s in shells if s.done]
     crashed = [s.pid for s in shells if s.crashed]

@@ -1,0 +1,84 @@
+"""Campaign orchestration: grids, cells, triage, JSON-safety."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    LABEL_BELOW,
+    FuzzConfig,
+    campaign_tasks,
+    fuzz_cell,
+    generate_case,
+    run_campaign,
+)
+
+BELOW_1D = FuzzConfig(profile=LABEL_BELOW, d_choices=(1,), f_choices=(1,))
+
+
+class TestCampaignTasks:
+    def test_keys_unique_and_deterministic(self):
+        config = FuzzConfig(profile="mixed")
+        a = campaign_tasks(config, 16, seed0=0)
+        b = campaign_tasks(config, 16, seed0=0)
+        assert [t.key for t in a] == [t.key for t in b]
+        assert len({t.key for t in a}) == 16
+
+    def test_params_are_json_safe(self):
+        for task in campaign_tasks(FuzzConfig(profile="mixed"), 8):
+            json.dumps(dict(task.params))
+
+
+class TestFuzzCell:
+    def test_row_is_json_safe(self):
+        case = generate_case(BELOW_1D, 4).to_json_dict()
+        row = fuzz_cell(case=case)
+        json.dumps(row)
+
+    def test_violating_cell_embeds_bundle(self):
+        # Find a violating below-bound seed, then check its cell row.
+        for seed in range(16):
+            case = generate_case(BELOW_1D, seed).to_json_dict()
+            row = fuzz_cell(case=case, shrink_max_runs=100)
+            if row["status"] == "violation":
+                assert row["bundle"] is not None
+                assert row["bundle"]["fingerprint"]
+                assert row["shrink"] is not None
+                return
+        pytest.fail("no violating seed found for the cell test")
+
+    def test_shrink_can_be_disabled(self):
+        for seed in range(16):
+            case = generate_case(BELOW_1D, seed).to_json_dict()
+            row = fuzz_cell(case=case, shrink_violations=False)
+            if row["status"] == "violation":
+                assert row["bundle"] is not None
+                assert row["shrink"] is None
+                return
+        pytest.fail("no violating seed found for the cell test")
+
+
+class TestCampaignTriage:
+    @pytest.fixture(scope="class")
+    def summary(self, tmp_path_factory):
+        return run_campaign(
+            BELOW_1D,
+            6,
+            seed0=0,
+            run_dir=tmp_path_factory.mktemp("campaign"),
+            shrink_violations=False,
+        )
+
+    def test_below_bound_findings_are_expected(self, summary):
+        assert summary.violations  # below the bound something must break
+        assert summary.unexpected_violations == []
+        assert summary.expected_violations == summary.violations
+
+    def test_triage_table_renders(self, summary):
+        table = summary.triage_table()
+        assert "Fuzz campaign triage" in table
+        assert LABEL_BELOW in table
+
+    def test_rows_follow_grid_order(self, summary):
+        seeds = [row["seed"] for row in summary.rows]
+        assert seeds == sorted(seeds)

@@ -1,0 +1,73 @@
+"""One-case execution: recording, classification, replay, fingerprints."""
+
+import pytest
+
+from repro.chaos import (
+    LABEL_BELOW,
+    LABEL_LEGAL,
+    FuzzConfig,
+    generate_case,
+    outcome_fingerprint,
+    replay_case,
+    run_case,
+)
+
+LEGAL_1D = FuzzConfig(profile=LABEL_LEGAL, d_choices=(1,), f_choices=(1,))
+BELOW_1D = FuzzConfig(profile=LABEL_BELOW, d_choices=(1,), f_choices=(1,))
+
+
+@pytest.fixture(scope="module")
+def legal_outcome():
+    return run_case(generate_case(LEGAL_1D, 0))
+
+
+class TestRunCase:
+    def test_legal_case_passes(self, legal_outcome):
+        assert legal_outcome.ok
+        assert legal_outcome.violation is None
+        assert legal_outcome.error is None
+
+    def test_schedule_is_recorded(self, legal_outcome):
+        assert len(legal_outcome.schedule) > 0
+        assert legal_outcome.schedule[0] == tuple(map(int, legal_outcome.schedule[0]))
+
+    def test_online_checker_ran(self, legal_outcome):
+        assert legal_outcome.states_checked > 0
+
+    def test_run_is_deterministic(self, legal_outcome):
+        again = run_case(generate_case(LEGAL_1D, 0))
+        assert again.schedule == legal_outcome.schedule
+        assert outcome_fingerprint(again) == outcome_fingerprint(legal_outcome)
+
+
+class TestViolationClassification:
+    def test_below_bound_violation_found_and_labeled(self):
+        # At n = (d+2)f the paper predicts failures; some seed in a small
+        # budget must produce one, classified as a violation (not error).
+        for seed in range(16):
+            outcome = run_case(generate_case(BELOW_1D, seed))
+            if outcome.status == "violation":
+                assert outcome.violation is not None
+                assert outcome.violation.kind
+                assert outcome.error is None
+                return
+        pytest.fail("no violation found below the resilience bound")
+
+
+class TestReplay:
+    def test_replay_reproduces_fingerprint(self, legal_outcome):
+        case = legal_outcome.case
+        replayed = replay_case(case, case.fault_plan, legal_outcome.schedule)
+        assert replayed.status == legal_outcome.status
+        assert replayed.schedule == legal_outcome.schedule
+        assert outcome_fingerprint(replayed) == outcome_fingerprint(legal_outcome)
+
+    def test_fingerprint_sensitive_to_schedule(self, legal_outcome):
+        # An edited schedule deterministically degrades (ReplayScheduler
+        # falls back) — the fingerprint must expose any divergence.
+        case = legal_outcome.case
+        truncated = replay_case(
+            case, case.fault_plan, legal_outcome.schedule[: len(legal_outcome.schedule) // 2]
+        )
+        if truncated.schedule != legal_outcome.schedule:
+            assert outcome_fingerprint(truncated) != outcome_fingerprint(legal_outcome)

@@ -1,0 +1,55 @@
+"""``repro fuzz`` command-line surface."""
+
+import json
+
+from repro.cli import main
+
+
+class TestFuzzCampaignCommand:
+    def test_legal_campaign_exits_zero(self, capsys):
+        code = main(
+            ["fuzz", "--profile", "legal", "--iterations", "3", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fuzz campaign triage" in out
+        assert "unexpected=0" in out
+
+    def test_checkpoint_and_resume(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "run")
+        args = [
+            "fuzz", "--profile", "legal", "--iterations", "3",
+            "--run-dir", run_dir,
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(
+            ["fuzz", "--profile", "legal", "--iterations", "3",
+             "--resume", run_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reused=3" in out
+
+
+class TestHuntAndReplayCommands:
+    def test_until_violation_writes_bundle_and_replays(self, capsys, tmp_path):
+        bundle_dir = tmp_path / "bundles"
+        code = main(
+            [
+                "fuzz", "--until-violation", "--profile", "below-bound",
+                "--iterations", "24", "--bundle-dir", str(bundle_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # found a violation => non-zero, CI-friendly
+        assert "violation after" in out
+        bundles = sorted(bundle_dir.glob("*.json"))
+        assert bundles, "hunt did not write a repro bundle"
+        # Bundle is valid JSON with the pinned execution artefacts.
+        data = json.loads(bundles[0].read_text())
+        assert data["fingerprint"]
+
+        replay_code = main(["fuzz", "--replay", str(bundles[0])])
+        replay_out = capsys.readouterr().out
+        assert replay_code == 0
+        assert "fingerprint=match" in replay_out

@@ -1,0 +1,121 @@
+"""The chaos engine's self-test (ISSUE acceptance criteria).
+
+Two halves, mirroring Theorem 2's two directions:
+
+* at ``n = (d+2)f`` (one below the bound) the fuzzer must *find* a
+  resilience violation within a bounded budget, *shrink* it to a locally
+  minimal counterexample, and emit a repro bundle that replays
+  bit-identically;
+* at ``n >= (d+2)f + 1`` with ``|F| <= f`` a whole campaign must report
+  zero violations — the paper's guarantee, checked online on every
+  delivery and post-hoc on every completed run.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    LABEL_BELOW,
+    LABEL_LEGAL,
+    FuzzConfig,
+    hunt,
+    load_bundle,
+    make_bundle,
+    replay_bundle,
+    run_campaign,
+    write_bundle,
+)
+
+HUNT_BUDGET = 24
+SHRINK_BUDGET = 300
+
+BELOW = FuzzConfig(profile=LABEL_BELOW, d_choices=(1, 2), f_choices=(1,))
+LEGAL = FuzzConfig(
+    profile=LABEL_LEGAL,
+    d_choices=(1,),
+    f_choices=(1,),
+    max_extra_processes=0,  # pin n exactly at (d+2)f + 1
+)
+
+
+@pytest.fixture(scope="module")
+def found():
+    result = hunt(
+        BELOW, budget=HUNT_BUDGET, seed0=0, shrink_max_runs=SHRINK_BUDGET
+    )
+    assert result is not None, (
+        f"fuzzer failed to find a violation at n=(d+2)f within "
+        f"{HUNT_BUDGET} cases"
+    )
+    return result
+
+
+class TestBelowBoundHunt:
+    def test_violation_found_within_budget(self, found):
+        outcome, _, tried = found
+        assert tried <= HUNT_BUDGET
+        assert outcome.status == "violation"
+        assert outcome.case.label == LABEL_BELOW
+
+    def test_shrink_reaches_local_minimum(self, found):
+        outcome, shrink_result, _ = found
+        assert shrink_result is not None
+        assert shrink_result.minimal
+        assert shrink_result.runs <= SHRINK_BUDGET
+        # Shrinking never loses the violation kind.
+        assert shrink_result.violation.kind == outcome.violation.kind
+        # And never grows the counterexample.
+        assert len(shrink_result.schedule) <= len(outcome.schedule)
+
+    def test_bundle_replays_bit_identically(self, found, tmp_path):
+        outcome, shrink_result, _ = found
+        bundle = make_bundle(outcome, shrink_result=shrink_result)
+        path = write_bundle(bundle, tmp_path / "counterexample.json")
+        loaded = load_bundle(path)
+        replayed, identical = replay_bundle(loaded)
+        assert identical, "replay diverged from the recorded execution"
+        assert replayed.violation.kind == outcome.violation.kind
+
+    def test_bundle_file_is_byte_stable(self, found, tmp_path):
+        # Writing the same counterexample twice produces identical bytes —
+        # bundles are diffable artefacts, not just semantically equal.
+        outcome, shrink_result, _ = found
+        bundle = make_bundle(outcome, shrink_result=shrink_result)
+        a = write_bundle(bundle, tmp_path / "a.json").read_bytes()
+        b = write_bundle(
+            make_bundle(outcome, shrink_result=shrink_result),
+            tmp_path / "b.json",
+        ).read_bytes()
+        assert a == b
+
+    def test_bundle_is_plain_json(self, found, tmp_path):
+        outcome, shrink_result, _ = found
+        bundle = make_bundle(outcome, shrink_result=shrink_result)
+        round_tripped = json.loads(json.dumps(bundle))
+        assert round_tripped == bundle
+
+
+class TestLegalCampaign:
+    def test_zero_violations_at_the_bound(self, tmp_path):
+        summary = run_campaign(
+            LEGAL,
+            10,
+            seed0=0,
+            run_dir=tmp_path / "run",
+            bundle_dir=tmp_path / "bundles",
+        )
+        assert summary.violations == []
+        assert summary.errors == 0
+        assert summary.ok == 10
+        assert summary.bundle_paths == []
+
+    def test_campaign_resume_reuses_everything(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = run_campaign(LEGAL, 6, seed0=100, run_dir=run_dir)
+        second = run_campaign(LEGAL, 6, seed0=100, run_dir=run_dir, resume=True)
+        assert second.report.reused == 6
+        assert second.report.executed == 0
+        assert [r["case_id"] for r in second.rows] == [
+            r["case_id"] for r in first.rows
+        ]

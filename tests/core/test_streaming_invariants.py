@@ -1,0 +1,109 @@
+"""Streaming invariant checker: online detection of the prefix-closed
+properties (validity, stable-vector liveness/containment)."""
+
+import numpy as np
+import pytest
+
+from repro.core.invariants import OnlineViolation, StreamingInvariantChecker
+from repro.core.runner import run_convex_hull_consensus
+from repro.geometry.polytope import ConvexPolytope
+from repro.runtime.faults import FaultPlan
+from repro.runtime.messages import InputTuple
+
+
+@pytest.fixture()
+def clean_run():
+    rng = np.random.default_rng(21)
+    inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+    return run_convex_hull_consensus(inputs, 1, 0.2, seed=2)
+
+
+def _bound_checker(result):
+    checker = StreamingInvariantChecker()
+    checker.bind(
+        result.trace.processes, result.trace.fault_plan, result.config
+    )
+    return checker
+
+
+class TestObserverWiring:
+    def test_observer_polls_during_a_run(self):
+        rng = np.random.default_rng(8)
+        inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+        checker = StreamingInvariantChecker()
+        run_convex_hull_consensus(inputs, 1, 0.2, seed=2, observer=checker)
+        assert checker.polls > 0
+        assert checker.states_checked > 0
+        assert checker.views_checked > 0
+
+    def test_poll_before_bind_raises(self):
+        with pytest.raises(RuntimeError, match="bind"):
+            StreamingInvariantChecker().poll()
+
+    def test_crashy_run_stays_clean(self):
+        rng = np.random.default_rng(9)
+        inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+        plan = FaultPlan.crash_at({4: (0, 2)})
+        checker = StreamingInvariantChecker()
+        run_convex_hull_consensus(
+            inputs, 1, 0.2, fault_plan=plan, seed=2, observer=checker
+        )
+        assert checker.polls > 0
+
+
+class TestIncrementalChecking:
+    def test_each_state_checked_exactly_once(self, clean_run):
+        checker = _bound_checker(clean_run)
+        checker.poll()
+        after_first = checker.states_checked
+        assert after_first > 0
+        checker.poll()  # nothing new since: no re-checking
+        assert checker.states_checked == after_first
+
+    def test_detects_validity_violation_in_new_state(self, clean_run):
+        checker = _bound_checker(clean_run)
+        checker.poll()
+        proc = clean_run.trace.processes[0]
+        # A "state" far outside the correct-input hull, appearing later.
+        far = ConvexPolytope.from_points(np.array([[50.0]]))
+        proc.states[99] = far
+        try:
+            with pytest.raises(OnlineViolation) as exc_info:
+                checker.poll()
+            assert exc_info.value.kind == "validity"
+            assert exc_info.value.pid == proc.pid
+            assert exc_info.value.round_index == 99
+        finally:
+            del proc.states[99]  # session-scoped fixture data elsewhere
+
+    def test_detects_starved_view(self, clean_run):
+        checker = StreamingInvariantChecker()
+        trace = clean_run.trace
+        checker.bind(trace.processes, trace.fault_plan, clean_run.config)
+        proc = trace.processes[0]
+        original = proc.r_view
+        proc.r_view = tuple(original[:1])  # |R_i| = 1 < n - f
+        try:
+            with pytest.raises(OnlineViolation) as exc_info:
+                checker.poll()
+            assert exc_info.value.kind == "stable-vector-liveness"
+        finally:
+            proc.r_view = original
+
+    def test_detects_incomparable_views(self, clean_run):
+        checker = StreamingInvariantChecker()
+        trace = clean_run.trace
+        checker.bind(trace.processes, trace.fault_plan, clean_run.config)
+        n, f = trace.n, trace.f
+        proc = trace.processes[0]
+        original = proc.r_view
+        # Replace one entry so this view and a full peer view are
+        # incomparable (same size as n-f but different membership).
+        fake = InputTuple(value=(123.0,), sender=proc.pid)
+        proc.r_view = tuple(list(original[: n - f - 1]) + [fake])
+        try:
+            with pytest.raises(OnlineViolation) as exc_info:
+                checker.poll()
+            assert exc_info.value.kind == "stable-vector-containment"
+        finally:
+            proc.r_view = original

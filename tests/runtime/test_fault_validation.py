@@ -1,0 +1,67 @@
+"""``FaultPlan.validate``: malformed plans fail fast, not deep in a run."""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import run_convex_hull_consensus
+from repro.runtime.faults import CrashSpec, FaultPlan
+
+
+class TestConstructionChecks:
+    def test_crash_for_non_faulty_process_rejected(self):
+        with pytest.raises(ValueError, match="non-faulty"):
+            FaultPlan(faulty=frozenset({1}), crashes={2: CrashSpec(0, 0)})
+
+    def test_incorrect_inputs_must_be_faulty(self):
+        with pytest.raises(ValueError, match="non-faulty"):
+            FaultPlan(faulty=frozenset({1}), incorrect_inputs=frozenset({3}))
+
+    def test_valid_plan_constructs(self):
+        plan = FaultPlan(faulty=frozenset({1}), crashes={1: CrashSpec(2, 3)})
+        assert plan.validate() is plan
+
+
+class TestRangeChecks:
+    def test_pid_out_of_range_detected_with_n(self):
+        plan = FaultPlan(faulty=frozenset({9}))
+        with pytest.raises(ValueError, match=r"faulty pids \[9\]"):
+            plan.validate(5)
+        # Without n the plan is internally consistent.
+        assert plan.validate() is plan
+
+    def test_negative_pid_detected(self):
+        plan = FaultPlan(faulty=frozenset({-1}))
+        with pytest.raises(ValueError, match="outside the system"):
+            plan.validate(5)
+
+    def test_in_range_plan_passes(self):
+        plan = FaultPlan.crash_at({4: (0, 1)})
+        assert plan.validate(5) is plan
+
+
+class TestRevalidation:
+    def test_mutated_crash_dict_caught_on_revalidation(self):
+        # ``crashes`` is a mutable dict; a plan corrupted after
+        # construction must still be caught when the simulator
+        # re-validates.
+        plan = FaultPlan(faulty=frozenset({1}), crashes={1: CrashSpec(0, 0)})
+        plan.crashes[3] = CrashSpec(0, 0)
+        with pytest.raises(ValueError, match="non-faulty"):
+            plan.validate()
+
+    def test_non_crashspec_entry_caught(self):
+        plan = FaultPlan(faulty=frozenset({1}), crashes={1: CrashSpec(0, 0)})
+        plan.crashes[1] = (0, 0)  # tuple instead of CrashSpec
+        with pytest.raises(ValueError, match="expected CrashSpec"):
+            plan.validate()
+
+
+class TestSimulatorIntegration:
+    def test_run_rejects_out_of_range_plan(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+        plan = FaultPlan(faulty=frozenset({9}))
+        with pytest.raises(ValueError, match="outside the system"):
+            run_convex_hull_consensus(
+                inputs, 1, 0.2, fault_plan=plan, enforce_resilience=False
+            )

@@ -1,0 +1,149 @@
+"""``reset()`` determinism for every scheduler strategy, plus behaviour
+of the chaos-engine schedulers (adaptive adversary, recorder, replay).
+
+The fuzzer's replay guarantee rests on one property: a scheduler driven
+through the same head sequences after ``reset()`` makes the same
+decisions.  Every strategy must satisfy it, including the stateful ones.
+"""
+
+import pytest
+
+from repro.runtime.messages import Envelope, InputTuple, SVInit
+from repro.runtime.scheduler import (
+    AdaptiveAdversaryScheduler,
+    BurstyScheduler,
+    FifoFairScheduler,
+    RandomScheduler,
+    ReplayScheduler,
+    ScheduleRecorder,
+    TargetedDelayScheduler,
+)
+
+
+def _env(src, dst):
+    return Envelope(
+        src=src,
+        dst=dst,
+        seq=0,
+        send_round=0,
+        payload=SVInit(entry=InputTuple(value=(0.0,), sender=src)),
+    )
+
+
+def _head_sequences():
+    """A fixed, varied drive: different sizes, sources, destinations."""
+    sequences = []
+    for step in range(40):
+        heads = [
+            _env(src, (src + step) % 4)
+            for src in range((step % 5) + 2)
+        ]
+        sequences.append(heads)
+    return sequences
+
+
+STRATEGIES = [
+    pytest.param(lambda: RandomScheduler(seed=3), id="random"),
+    pytest.param(lambda: FifoFairScheduler(), id="fifo"),
+    pytest.param(lambda: BurstyScheduler(seed=5), id="bursty"),
+    pytest.param(
+        lambda: TargetedDelayScheduler(slow=frozenset({1}), seed=7),
+        id="targeted",
+    ),
+    pytest.param(lambda: AdaptiveAdversaryScheduler(seed=9), id="adaptive"),
+    pytest.param(
+        lambda: ScheduleRecorder(inner=RandomScheduler(seed=11)),
+        id="recorder",
+    ),
+    pytest.param(
+        lambda: ReplayScheduler(decisions=((0, 1), (1, 2), (2, 0)) * 20),
+        id="replay",
+    ),
+]
+
+
+class TestResetDeterminism:
+    @pytest.mark.parametrize("make", STRATEGIES)
+    def test_same_decisions_after_reset(self, make):
+        sched = make()
+        drives = _head_sequences()
+        first = [sched.choose(heads) for heads in drives]
+        sched.reset()
+        second = [sched.choose(heads) for heads in drives]
+        assert first == second
+
+    @pytest.mark.parametrize("make", STRATEGIES)
+    def test_two_instances_agree(self, make):
+        a, b = make(), make()
+        drives = _head_sequences()
+        assert [a.choose(h) for h in drives] == [b.choose(h) for h in drives]
+
+    @pytest.mark.parametrize("make", STRATEGIES)
+    def test_choices_always_in_range(self, make):
+        sched = make()
+        for heads in _head_sequences():
+            assert 0 <= sched.choose(heads) < len(heads)
+
+
+class TestAdaptiveAdversary:
+    def test_starves_the_least_delivered_process(self):
+        sched = AdaptiveAdversaryScheduler(seed=0)
+        # Process 0 has received nothing; with alternatives available the
+        # adversary must not deliver to it.
+        heads = [_env(1, 0), _env(2, 1), _env(3, 1)]
+        for _ in range(10):
+            pick = sched.choose(heads)
+            assert heads[pick].dst != 0
+
+    def test_delivers_when_target_is_the_only_option(self):
+        sched = AdaptiveAdversaryScheduler(seed=0)
+        heads = [_env(1, 0), _env(2, 0)]
+        assert sched.choose(heads) in (0, 1)
+
+    def test_reset_clears_delivery_counts(self):
+        sched = AdaptiveAdversaryScheduler(seed=0)
+        for _ in range(5):
+            sched.choose([_env(1, 0), _env(2, 1)])
+        sched.reset()
+        assert sched._delivered == {}
+
+
+class TestScheduleRecorder:
+    def test_records_src_dst_pairs(self):
+        sched = ScheduleRecorder(inner=FifoFairScheduler())
+        heads = [_env(0, 1), _env(2, 3)]
+        pick = sched.choose(heads)
+        assert sched.decisions == [(heads[pick].src, heads[pick].dst)]
+
+    def test_reset_clears_recording_and_inner(self):
+        sched = ScheduleRecorder(inner=RandomScheduler(seed=1))
+        drives = _head_sequences()
+        first = [sched.choose(h) for h in drives]
+        recorded = list(sched.decisions)
+        sched.reset()
+        assert sched.decisions == []
+        assert [sched.choose(h) for h in drives] == first
+        assert sched.decisions == recorded
+
+
+class TestReplayScheduler:
+    def test_replays_recorded_decisions_exactly(self):
+        inner = RandomScheduler(seed=2)
+        recorder = ScheduleRecorder(inner=inner)
+        drives = _head_sequences()
+        picks = [recorder.choose(h) for h in drives]
+        replay = ReplayScheduler(decisions=tuple(recorder.decisions))
+        assert [replay.choose(h) for h in drives] == picks
+
+    def test_skips_unmatchable_decisions(self):
+        # A decision for a channel not currently at head is skipped, and
+        # the next matchable one is used — edited lists stay executable.
+        replay = ReplayScheduler(decisions=((9, 9), (1, 0)))
+        heads = [_env(0, 1), _env(1, 0)]
+        assert replay.choose(heads) == 1
+
+    def test_falls_back_to_head_zero_when_exhausted(self):
+        replay = ReplayScheduler(decisions=())
+        heads = [_env(0, 1), _env(1, 0)]
+        assert replay.choose(heads) == 0
+        assert replay.choose(heads) == 0
