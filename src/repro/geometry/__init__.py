@@ -50,11 +50,15 @@ from .hausdorff import (
 )
 from .hull import hull_vertices, hull_vertices_1d, hull_vertices_2d
 from .intersection import (
+    depth_region_halfspaces,
     intersect_hulls,
     intersect_subset_hulls,
     optimal_polytope_iz,
+    set_subset_mode,
     subset_count,
     subset_intersection_is_nonempty,
+    subset_mode,
+    subset_mode_override,
 )
 from .linalg import AffineChart, affine_chart, affine_rank, as_points_array
 from .operations import (
@@ -128,6 +132,7 @@ __all__ = [
     "dilate",
     "directional_width",
     "dedupe_halfspaces",
+    "depth_region_halfspaces",
     "directed_hausdorff",
     "disagreement_diameter",
     "distance_to_hull",
@@ -164,11 +169,14 @@ __all__ = [
     "sample_on_vertices",
     "sample_outside_polytope",
     "set_cache_enabled",
+    "set_subset_mode",
     "steiner_lipschitz_bound",
     "steiner_point",
     "stochastic_row_combination",
     "subset_count",
     "subset_intersection_is_nonempty",
+    "subset_mode",
+    "subset_mode_override",
     "tukey_depth",
     "tverberg_partition",
     "tverberg_partition_1d",

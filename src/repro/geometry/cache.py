@@ -21,7 +21,8 @@ redundancy:
   every memoized entry point falls through to its original computation;
 * the :class:`PerfCounters` singleton :data:`PERF` — cheap monotonic
   counters (hull calls, cache hits/misses, LP solves, Minkowski candidate
-  counts) incremented by the geometry hot paths and surfaced by
+  counts, depth fast-path routing and candidate-halfspace tallies)
+  incremented by the geometry hot paths and surfaced by
   :mod:`repro.analysis.perf_counters`, the simulator report, and the
   benchmark harness.
 
@@ -69,6 +70,9 @@ class PerfCounters:
     subset_intersection_calls: int = 0
     subset_intersection_cache_hits: int = 0
     subset_intersection_cache_misses: int = 0
+    subset_fast_path_hits: int = 0
+    depth_halfspace_candidates: int = 0
+    depth_halfspaces_kept: int = 0
     combination_calls: int = 0
     combination_cache_hits: int = 0
     combination_cache_misses: int = 0

@@ -44,13 +44,23 @@ def clip_polygon_by_halfspace(
     are computed per-edge, so conditioning depends only on the angle
     between *this* halfspace boundary and the crossed edge, never on other
     constraints.
+
+    ``normal`` is assumed unit (every caller routes through
+    :func:`repro.geometry.halfspaces.dedupe_halfspaces`), so ``values``
+    below are true signed distances and the inside-test tolerance is a
+    *distance* at the problem's scale — ``|offset|``, the line's distance
+    from the origin — never the current polygon's coordinate span.
+    Scaling by the span was a bug: while the synthetic 1e6 bounding box is
+    still being cut away the span is ~1e6x the data, the tolerance
+    inflates to ~1e-3, and a nearly parallel constraint pair (offsets
+    closer than that) loses its tighter member, displacing vertices of the
+    final region by the full offset gap.
     """
     m = polygon.shape[0]
     if m == 0:
         return polygon
     values = polygon @ normal - offset
-    span = float(np.max(np.abs(polygon))) if m else 1.0
-    eps = ABS_TOL * max(span, 1.0)
+    eps = ABS_TOL * max(abs(float(offset)), 1.0)
     out: list[np.ndarray] = []
     for i in range(m):
         p, q = polygon[i], polygon[(i + 1) % m]
@@ -95,4 +105,24 @@ def halfspace_intersection_2d(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     # Guard: if any synthetic box corner survived, the region was unbounded.
     if np.max(np.abs(polygon)) >= 0.99e6 * max(float(np.max(np.abs(b))) if b.size else 1.0, 1.0):
         raise ValueError("halfspace region is unbounded")
-    return polygon
+    # Second pass from a tight local box.  Edge/line crossings in the first
+    # pass are interpolated along segments of the synthetic ~1e6-scale box,
+    # so every vertex carries an absolute error of ~box * eps_machine
+    # (~1e-10) regardless of the region's own size.  For sliver regions
+    # bounded by nearly parallel constraints that error is amplified by
+    # 1/angle into visible vertex displacement.  Re-clipping from the
+    # (padded, per-axis) bounding rectangle of the first-pass result
+    # recomputes every crossing at the region's own coordinate scale.
+    lo = polygon.min(axis=0)
+    hi = polygon.max(axis=0)
+    pad = 0.25 * (hi - lo) + 1e-6 * (1.0 + np.maximum(np.abs(lo), np.abs(hi)))
+    lo = lo - pad
+    hi = hi + pad
+    refined = np.array([[lo[0], lo[1]], [hi[0], lo[1]], [hi[0], hi[1]], [lo[0], hi[1]]])
+    for normal, offset in zip(a, b):
+        refined = clip_polygon_by_halfspace(refined, normal, offset)
+        if refined.shape[0] == 0:
+            # The padded box clipped to nothing only through tolerance
+            # effects at the region boundary; keep the first-pass result.
+            return polygon
+    return refined

@@ -23,14 +23,14 @@ from __future__ import annotations
 import numpy as np
 
 from .linalg import as_points_array
-from .tolerances import ABS_TOL
+from .tolerances import ABS_TOL, DEPTH_SIDE_TOL
 
 
 def tukey_depth_1d(point: float, values: np.ndarray) -> int:
     """Exact halfspace depth on the line: min(#<=p, #>=p)."""
     vals = np.asarray(values, dtype=float).reshape(-1)
-    at_most = int(np.sum(vals <= point + ABS_TOL))
-    at_least = int(np.sum(vals >= point - ABS_TOL))
+    at_most = int(np.sum(vals <= point + DEPTH_SIDE_TOL))
+    at_least = int(np.sum(vals >= point - DEPTH_SIDE_TOL))
     return min(at_most, at_least)
 
 
@@ -61,12 +61,10 @@ def tukey_depth_2d(point, points) -> int:
     gaps = np.diff(critical, append=critical[0] + 2 * np.pi)
     midpoints = critical + gaps / 2.0
     probes = np.concatenate([critical, midpoints])
-    best = rel.shape[0] + coincident
-    for theta in probes:
-        u = np.array([np.cos(theta), np.sin(theta)])
-        count = int(np.sum(rel @ u >= -ABS_TOL * max(1.0, norms.max())))
-        best = min(best, count + coincident)
-    return best
+    directions = np.column_stack([np.cos(probes), np.sin(probes)])
+    side_tol = DEPTH_SIDE_TOL * max(1.0, norms.max())
+    counts = np.count_nonzero(rel @ directions.T >= -side_tol, axis=0)
+    return int(counts.min()) + coincident
 
 
 def tukey_depth_sampled(point, points, *, num_directions: int = 2000, seed: int = 0) -> int:
@@ -78,7 +76,7 @@ def tukey_depth_sampled(point, points, *, num_directions: int = 2000, seed: int 
     dirs = rng.normal(size=(num_directions, p.size))
     dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
     scale = max(float(np.max(np.abs(rel))), 1.0)
-    counts = np.sum(rel @ dirs.T >= -ABS_TOL * scale, axis=0)
+    counts = np.sum(rel @ dirs.T >= -DEPTH_SIDE_TOL * scale, axis=0)
     return int(counts.min())
 
 

@@ -26,7 +26,7 @@ from .cache import HREP_CACHE, PERF, array_key, cache_enabled, freeze_readonly
 from .errors import HullComputationError, InfeasibleRegionError, SolverError
 from .hull import hull_vertices
 from .linalg import AffineChart, affine_chart, as_points_array
-from .tolerances import ABS_TOL, DEGENERACY_TOL
+from .tolerances import ABS_TOL, DEGENERACY_TOL, RANK_TOL
 
 try:
     from scipy.spatial import HalfspaceIntersection as _HalfspaceIntersection
@@ -174,22 +174,41 @@ def dedupe_halfspaces(
 
     Among halfspaces sharing (rounded) the same unit normal, only the
     tightest offset is kept — the others are redundant in an intersection.
+    Fully vectorized (the depth fast path hands this thousands of candidate
+    rows at once): rounded normals are grouped with ``np.unique`` and the
+    per-group minimum offset taken with ``np.minimum.at``, preserving the
+    first-occurrence order the original dict-based implementation had.
+
+    Each group is represented by its first occurrence's *original* unit
+    normal, not the rounded grouping key: returning the key (as the old
+    dict implementation did) perturbs every normal by ~1e-9 per pass, so
+    the function was not idempotent — re-deduping a system shifted its
+    offsets (divided again by the now-slightly-non-unit norms) by enough
+    to pinch lower-dimensional feasible regions (equality pairs thinner
+    than the perturbation) into infeasibility.
     """
     if a.shape[0] == 0:
         return a, b
     norms = np.linalg.norm(a, axis=1)
     keep = norms > ABS_TOL
     a, b, norms = a[keep], b[keep], norms[keep]
-    a = a / norms[:, None]
-    b = b / norms
-    best: dict[tuple, float] = {}
-    for row, off in zip(a, b):
-        key = tuple(np.round(row, decimals))
-        if key not in best or off < best[key]:
-            best[key] = float(off)
-    rows = np.array([list(k) for k in best])
-    offs = np.array(list(best.values()))
-    return rows, offs
+    # Leave already-unit rows untouched: the computed norm of a unit vector
+    # is 1.0 only up to a few ulps, and dividing by it would perturb every
+    # row on every pass, breaking exact (bit-level) idempotence.
+    unit = np.abs(norms - 1.0) <= 4 * np.finfo(float).eps
+    scale = np.where(unit, 1.0, norms)
+    a = a / scale[:, None]
+    b = b / scale
+    # + 0.0 canonicalizes -0.0 to +0.0: np.unique compares raw bytes, and
+    # the two zeros must share a dedupe bucket (as they did under dict keys).
+    keys = np.round(a, decimals) + 0.0
+    _uniq, first, inverse = np.unique(
+        keys, axis=0, return_index=True, return_inverse=True
+    )
+    offs = np.full(first.shape[0], np.inf)
+    np.minimum.at(offs, inverse.reshape(-1), b)
+    order = np.argsort(first, kind="stable")
+    return a[first][order], offs[order]
 
 
 # ----------------------------------------------------------------------
@@ -276,11 +295,17 @@ def _implicit_equalities(
 def _chart_from_equalities(
     a_eq: np.ndarray, b_eq: np.ndarray, point: np.ndarray
 ) -> AffineChart:
-    """Chart of the affine subspace ``{x : A_eq x = b_eq}`` through ``point``."""
+    """Chart of the affine subspace ``{x : A_eq x = b_eq}`` through ``point``.
+
+    The rank cut uses the library-wide :data:`RANK_TOL`: equality normals
+    collected from *different* hull charts agree only to float-noise
+    (~1e-10), and a sharper threshold reads that noise as an extra rank,
+    collapsing a segment-shaped region to a point.
+    """
     dim = a_eq.shape[1]
     _u, sv, vt = np.linalg.svd(a_eq, full_matrices=True)
     scale = max(sv[0] if sv.size else 0.0, 1.0)
-    rank = int(np.sum(sv > 1e-10 * scale))
+    rank = int(np.sum(sv > RANK_TOL * scale))
     null_basis = vt[rank:]  # rows span the null space of A_eq
     return AffineChart(origin=point.copy(), basis=null_basis.reshape(-1, dim))
 
@@ -301,10 +326,22 @@ def vertices_of_halfspace_system(
     """
     dim = a.shape[1]
     a, b = dedupe_halfspaces(a, b)
+    pinched = False
     try:
         center, radius = chebyshev_center(a, b)
     except InfeasibleRegionError:
-        return np.zeros((0, dim))
+        # A lower-dimensional region described by equality pairs computed
+        # through *different* charts (stacked H-reps of several degenerate
+        # hulls) can be inconsistent at float-noise level and present as
+        # infeasible at zero slack.  Retry with ABS_TOL slack to separate
+        # that pinch from genuine emptiness.
+        slack = ABS_TOL * max(1.0, float(np.max(np.abs(b))) if b.size else 1.0)
+        b = b + slack
+        try:
+            center, radius = chebyshev_center(a, b)
+        except InfeasibleRegionError:
+            return np.zeros((0, dim))
+        pinched = True
 
     if dim == 1:
         pos = a[:, 0] > ABS_TOL
@@ -320,7 +357,7 @@ def vertices_of_halfspace_system(
         return np.array([[lo], [hi]])
 
     scale = max(float(np.max(np.abs(center))), 1.0)
-    if radius > degeneracy_tol * scale:
+    if radius > degeneracy_tol * scale and not pinched:
         return _vertices_full_dim(a, b, center)
 
     # Degenerate region: find its affine hull and recurse inside it.

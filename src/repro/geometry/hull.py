@@ -71,11 +71,40 @@ def hull_vertices_2d(points: np.ndarray) -> np.ndarray:
         The erosion of the returned hull is then bounded by ``eps``
         directly, which keeps iterated constructions (e.g. the per-round
         Minkowski combinations of Algorithm CC) from accumulating
-        super-tolerance boundary loss.
+        super-tolerance boundary loss.  The comparison is kept in product
+        form (no division, no floor on the chord): flooring the chord at
+        ``eps`` would shrink the threshold to ``eps**2`` for sub-``eps``
+        chords and prune true extreme points whose sagitta is arbitrarily
+        large — e.g. point sets whose x-extent is many orders of magnitude
+        below their y-extent.
+
+        Within the collinear band a second guard is needed: when several
+        points share an x-coordinate up to noise far below ``eps``, the
+        lexsort tie-break by y need not match the order *along* the
+        near-vertical line, so the sort-middle point of the chain may be a
+        geometric endpoint of the collinear run (exact arithmetic keeps it
+        as an extreme point).  A near-collinear ``a`` whose projection onto
+        the chord lies between ``o`` and ``b`` is interior to the run and
+        pruned; one projecting *outside* the chord is kept or pruned by the
+        exact sign of the cross product — keeping it unconditionally lets a
+        true right turn survive both chains and appear twice in the ring.
         """
         cross = (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
-        chord = float(np.hypot(b[0] - o[0], b[1] - o[1]))
-        return cross <= eps * max(chord, eps)
+        dx, dy = b[0] - o[0], b[1] - o[1]
+        chord2 = dx * dx + dy * dy
+        chord = float(np.sqrt(chord2))
+        if cross <= -eps * chord:
+            return True  # definite clockwise turn
+        if cross > eps * chord:
+            return False  # definite counter-clockwise turn: a is extreme
+        # Near-collinear: interior points of the run are always dropped.
+        t = (a[0] - o[0]) * dx + (a[1] - o[1]) * dy
+        if -eps * chord <= t <= chord2 + eps * chord:
+            return True
+        # Run endpoint: the sagitta is below noise, so erosion from either
+        # choice is negligible — follow the cross product's sign so an
+        # exact extreme point survives and an exact right turn does not.
+        return cross < 0.0
 
     # Scale-aware collinearity threshold (a distance, not an area).
     span = float(np.max(sorted_pts.max(axis=0) - sorted_pts.min(axis=0)))

@@ -15,26 +15,47 @@ Implementation notes
   intersection is exactly ``[x_(f+1), x_(m-f)]`` (possibly empty) — the
   max-over-subsets of the subset minimum is attained by discarding the f
   smallest points, and symmetrically for the upper endpoint.
-* General dimension: every subset hull contributes its facet halfspaces
+* Depth fast path (d >= 2): the intersection equals the region of Tukey
+  depth ``>= f + 1`` (see :mod:`repro.geometry.depth`), whose facets lie
+  on hyperplanes spanned by ``d`` affinely independent points of the
+  multiset.  :func:`depth_region_halfspaces` therefore generates every
+  hyperplane through a d-subset (vectorized, in blocks: one batched
+  generalized cross product per block, one matmul to count points on each
+  closed side), keeps exactly the closed halfspaces containing at least
+  ``m - f`` points, and the usual degeneracy-aware vertex enumerator
+  recovers the polytope.  Cost ``O(C(m, d) * m)`` arithmetic plus one
+  vertex enumeration — polynomial in ``m`` for fixed ``d`` — instead of
+  ``C(m, f)`` Qhull runs.
+* Enumeration path: every subset hull contributes its facet halfspaces
   (with degenerate hulls contributing affine-hull equality pairs, see
   :func:`repro.geometry.halfspaces.hrep_of_hull`); the stacked system is
-  deduplicated and handed to the degeneracy-aware vertex enumerator.
-* The combinatorial cost is C(m, f) hull computations — inherent to the
-  algorithm's definition, not to this implementation.  ``f = 0`` short
-  circuits to the plain hull.
-* Cross-validation: the intersection equals the Tukey-depth >= f+1 region
-  (see :mod:`repro.geometry.depth`); the property-based test suite checks
-  the equivalence in 1-d and 2-d.
+  deduplicated and handed to the same vertex enumerator.  Cost
+  ``C(m, f)`` hull computations — the literal transcription of line 5,
+  kept as a selectable oracle.
+* Routing: ``REPRO_SUBSET_MODE=auto`` (default) takes the depth path
+  whenever ``C(m, f) > C(m, d)``; ``depth`` / ``enumerate`` force one
+  path for A/B runs and oracle cross-checks (:func:`set_subset_mode`,
+  :func:`subset_mode_override`).  ``f = 0`` short circuits to the plain
+  hull, and rank-deficient multisets are chart-projected before either
+  path runs, so both only ever see full-dimensional inputs.
+* Cross-validation: the property-based suites check the two paths against
+  each other and against the independent point-probe depth oracle on
+  random, duplicate-heavy, and rank-deficient multisets in d = 1, 2, 3.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
+import os
+import warnings
+from contextlib import contextmanager
+from itertools import combinations, islice
+from math import comb
+from typing import Iterator
 
 import numpy as np
 
 from .cache import PERF, SUBSET_CACHE, array_key, cache_enabled
-from .errors import InfeasibleRegionError
+from .errors import DegenerateInputError, InfeasibleRegionError
 from .halfspaces import (
     dedupe_halfspaces,
     feasible_point,
@@ -43,14 +64,174 @@ from .halfspaces import (
 )
 from .linalg import affine_chart, affine_rank, as_points_array
 from .polytope import ConvexPolytope
-from .tolerances import ABS_TOL
+from .tolerances import ABS_TOL, DEPTH_SIDE_TOL
 
 
 def subset_count(m: int, f: int) -> int:
     """Number of subset hulls line 5 intersects: C(m, f)."""
-    from math import comb
-
     return comb(m, f)
+
+
+# ----------------------------------------------------------------------
+# Path selection (auto / depth / enumerate)
+# ----------------------------------------------------------------------
+
+_SUBSET_MODES = ("auto", "depth", "enumerate")
+
+
+def _normalize_mode(mode: str) -> str:
+    if mode not in _SUBSET_MODES:
+        raise ValueError(
+            f"subset mode must be one of {_SUBSET_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def _mode_from_env() -> str:
+    raw = os.environ.get("REPRO_SUBSET_MODE", "auto")
+    if raw not in _SUBSET_MODES:
+        warnings.warn(
+            f"ignoring invalid REPRO_SUBSET_MODE={raw!r} "
+            f"(expected one of {_SUBSET_MODES}); using 'auto'",
+            stacklevel=2,
+        )
+        return "auto"
+    return raw
+
+
+_SUBSET_MODE = _mode_from_env()
+
+
+def subset_mode() -> str:
+    """The active subset-intersection path: ``auto``/``depth``/``enumerate``."""
+    return _SUBSET_MODE
+
+
+def set_subset_mode(mode: str) -> str:
+    """Select the subset-intersection path; returns the previous mode.
+
+    ``auto`` routes each call by the cost rule ``C(m, f) > C(m, d)``;
+    ``depth`` / ``enumerate`` force the fast path or the literal line-5
+    enumeration (the oracle).  Changing the mode clears the subset-
+    intersection cache: its key is ``(points bytes, f)``, shared across
+    paths, and entries computed under another mode must not be served to
+    an A/B arm expecting this one.
+    """
+    global _SUBSET_MODE
+    previous = _SUBSET_MODE
+    _SUBSET_MODE = _normalize_mode(mode)
+    if _SUBSET_MODE != previous:
+        SUBSET_CACHE.clear()
+    return previous
+
+
+@contextmanager
+def subset_mode_override(mode: str) -> Iterator[None]:
+    """Context manager: force the subset path to ``mode`` within the block."""
+    previous = set_subset_mode(mode)
+    try:
+        yield
+    finally:
+        set_subset_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# Depth fast path: candidate halfspaces through d-subsets
+# ----------------------------------------------------------------------
+
+#: d-subsets are processed in blocks of this many, bounding the size of the
+#: batched normal computation and the (m, block) side-count matmul.
+_SUBSET_BLOCK = 4096
+
+
+def _batched_hyperplane_normals(diffs: np.ndarray) -> np.ndarray:
+    """Normals of the hyperplanes spanned by stacked difference vectors.
+
+    ``diffs`` has shape ``(k, d-1, d)`` — for each of ``k`` subsets, the
+    ``d-1`` edge vectors out of its first point.  Returns the ``(k, d)``
+    generalized cross products ``n_i = (-1)^i det(diffs minus column i)``,
+    one batched determinant per coordinate.  A (numerically) zero row
+    marks an affinely dependent subset spanning no hyperplane.
+    """
+    k, _dm1, dim = diffs.shape
+    normals = np.empty((k, dim))
+    cols = np.arange(dim)
+    for i in range(dim):
+        normals[:, i] = ((-1.0) ** i) * np.linalg.det(diffs[:, :, cols != i])
+    return normals
+
+
+def depth_region_halfspaces(
+    points, f: int, *, block: int = _SUBSET_BLOCK
+) -> tuple[np.ndarray, np.ndarray]:
+    """Halfspace system ``(A, b)`` of the Tukey depth ``>= f + 1`` region.
+
+    Generates every hyperplane through a d-subset of ``points`` (both
+    orientations) and keeps exactly the closed halfspaces containing at
+    least ``m - f`` points of the multiset.  Every kept halfspace contains
+    the depth region, and every facet of the region lies on a hyperplane
+    spanned by ``d`` affinely independent points, so the deduplicated
+    system describes exactly
+
+        intersection over |C| = m - f subsets C of points of H(C),
+
+    the line-5 polytope.  ``points`` must span the ambient dimension
+    (``d >= 2``); callers chart-project degenerate multisets first.  The
+    kept set always contains every facet of ``conv(points)``, so the
+    system is bounded.
+    """
+    pts = as_points_array(points)
+    m, dim = pts.shape
+    if dim < 2:
+        raise ValueError(
+            f"depth_region_halfspaces requires ambient dimension >= 2, got {dim}"
+        )
+    if not 0 <= f <= m - 1:
+        raise ValueError(f"need 0 <= f <= m - 1, got f={f}, m={m}")
+    scale = max(1.0, float(np.max(np.abs(pts))))
+    side_tol = DEPTH_SIDE_TOL * scale
+    # Unnormalized normals scale like a product of d-1 edge lengths.
+    span_tol = DEPTH_SIDE_TOL * scale ** (dim - 1)
+    need = m - f
+    rows: list[np.ndarray] = []
+    offs: list[np.ndarray] = []
+    subset_iter = combinations(range(m), dim)
+    while True:
+        idx = np.array(list(islice(subset_iter, block)), dtype=int)
+        if idx.size == 0:
+            break
+        sub = pts[idx]                                  # (k, d, d)
+        base = sub[:, 0, :]                             # (k, d)
+        normals = _batched_hyperplane_normals(sub[:, 1:, :] - base[:, None, :])
+        norms = np.linalg.norm(normals, axis=1)
+        spanning = norms > span_tol
+        PERF.depth_halfspace_candidates += 2 * int(np.count_nonzero(spanning))
+        if not np.any(spanning):
+            continue
+        normals = normals[spanning] / norms[spanning, None]
+        offsets = np.einsum("kd,kd->k", normals, base[spanning])
+        proj = pts @ normals.T                          # (m, k')
+        below = np.count_nonzero(proj <= offsets[None, :] + side_tol, axis=0)
+        above = np.count_nonzero(proj >= offsets[None, :] - side_tol, axis=0)
+        keep_lo = below >= need
+        keep_hi = above >= need
+        if np.any(keep_lo):
+            rows.append(normals[keep_lo])
+            offs.append(offsets[keep_lo])
+        if np.any(keep_hi):
+            rows.append(-normals[keep_hi])
+            offs.append(-offsets[keep_hi])
+    if not rows:
+        # Unreachable for full-dimensional input: conv(points) has facets,
+        # each spanned by a d-subset and containing all m points.
+        raise DegenerateInputError(
+            "no candidate halfspace kept; input does not span the ambient "
+            "dimension — chart-project it first"
+        )
+    a_all = np.vstack(rows)
+    b_all = np.concatenate(offs)
+    PERF.depth_halfspaces_kept += a_all.shape[0]
+    return dedupe_halfspaces(a_all, b_all)
 
 
 def _intersect_subsets_1d(values: np.ndarray, f: int) -> ConvexPolytope:
@@ -64,6 +245,18 @@ def _intersect_subsets_1d(values: np.ndarray, f: int) -> ConvexPolytope:
     if hi < lo:
         hi = lo
     return ConvexPolytope.from_interval(lo, hi)
+
+
+def _intersect_subsets_depth(
+    pts: np.ndarray, dim: int, f: int
+) -> ConvexPolytope:
+    """Depth fast path: the intersection as the depth >= f+1 region."""
+    PERF.subset_fast_path_hits += 1
+    a, b = depth_region_halfspaces(pts, f)
+    vertices = vertices_of_halfspace_system(a, b)
+    if vertices.shape[0] == 0:
+        return ConvexPolytope.empty(dim)
+    return ConvexPolytope.from_points(vertices, dim=dim)
 
 
 def intersect_hulls(vertex_sets: list[np.ndarray], dim: int) -> ConvexPolytope:
@@ -99,8 +292,12 @@ def intersect_subset_hulls(points, f: int) -> ConvexPolytope:
     The full result is memoized by ``(points bytes, f)``: processes whose
     stable-vector views coincide (the common case — Containment forces
     heavy view overlap) ask for the *same* round-0 intersection, and the
-    ``C(m, f)``-hull computation then runs once per run instead of once
-    per process.  The returned polytope is immutable and safely shared.
+    geometric computation then runs once per run instead of once per
+    process.  The returned polytope is immutable and safely shared.
+    Which computation runs — the ``C(m, f)``-hull enumeration or the
+    polynomial depth fast path — is decided per call by
+    :func:`subset_mode`; :func:`set_subset_mode` clears this cache, so a
+    cached entry always comes from the currently selected path.
     """
     pts = as_points_array(points)
     m, dim = pts.shape
@@ -147,6 +344,10 @@ def _intersect_subset_hulls_uncached(
             chart.to_ambient(local_poly.vertices), dim=dim
         )
 
+    mode = subset_mode()
+    if mode == "depth" or (mode == "auto" and comb(m, f) > comb(m, dim)):
+        return _intersect_subsets_depth(pts, dim, f)
+
     vertex_sets = [
         np.delete(pts, list(drop), axis=0)
         for drop in combinations(range(m), f)
@@ -154,19 +355,30 @@ def _intersect_subset_hulls_uncached(
     return intersect_hulls(vertex_sets, dim)
 
 
-def subset_intersection_is_nonempty(points, f: int) -> bool:
+def subset_intersection_is_nonempty(
+    points, f: int, *, use_tverberg_shortcut: bool = True
+) -> bool:
     """LP-only nonemptiness test for the subset-hull intersection.
 
     Much cheaper than :func:`intersect_subset_hulls` when only feasibility
     matters (experiment E5 sweeps this over many configurations).  By
-    Tverberg's theorem (paper Theorem 5 / Lemma 2) this is guaranteed True
-    whenever ``m >= (d+1)f + 1``.
+    Tverberg's theorem (paper Theorem 5 / Lemma 2) the intersection is
+    guaranteed non-empty whenever ``m >= (d+1)f + 1``, and that case
+    returns True with no geometry at all; pass
+    ``use_tverberg_shortcut=False`` to force the full feasibility check
+    (the cross-check tests do, to verify the theorem against the
+    computation).  Below the guarantee, the depth fast path answers with
+    a single feasibility LP over the ``O(C(m, d))`` candidate halfspaces
+    instead of ``C(m, f)`` H-rep constructions
+    (``REPRO_SUBSET_MODE=enumerate`` restores the literal enumeration).
     """
     pts = as_points_array(points)
     m, dim = pts.shape
     if m - f < 1:
         return False
     if f == 0:
+        return True
+    if use_tverberg_shortcut and m >= (dim + 1) * f + 1:
         return True
     if dim == 1:
         srt = np.sort(pts[:, 0])
@@ -176,17 +388,30 @@ def subset_intersection_is_nonempty(points, f: int) -> bool:
         chart = affine_chart(pts)
         if chart.local_dim == 0:
             return True
-        return subset_intersection_is_nonempty(chart.to_local(pts), f)
-    rows, offs = [], []
-    for drop in combinations(range(m), f):
-        a, b = hrep_of_hull(np.delete(pts, list(drop), axis=0))
-        rows.append(a)
-        offs.append(b)
-    a_all, b_all = dedupe_halfspaces(np.vstack(rows), np.concatenate(offs))
+        return subset_intersection_is_nonempty(
+            chart.to_local(pts), f, use_tverberg_shortcut=use_tverberg_shortcut
+        )
+    if subset_mode() == "enumerate":
+        rows, offs = [], []
+        for drop in combinations(range(m), f):
+            a, b = hrep_of_hull(np.delete(pts, list(drop), axis=0))
+            rows.append(a)
+            offs.append(b)
+        a_all, b_all = dedupe_halfspaces(np.vstack(rows), np.concatenate(offs))
+    else:
+        PERF.subset_fast_path_hits += 1
+        a_all, b_all = depth_region_halfspaces(pts, f)
     try:
         feasible_point(a_all, b_all)
     except InfeasibleRegionError:
-        return False
+        # Distinguish genuine emptiness from a lower-dimensional region
+        # pinched infeasible by float-noise-inconsistent equality pairs
+        # (see vertices_of_halfspace_system): retry with ABS_TOL slack.
+        slack = ABS_TOL * max(1.0, float(np.max(np.abs(b_all))))
+        try:
+            feasible_point(a_all, b_all + slack)
+        except InfeasibleRegionError:
+            return False
     return True
 
 

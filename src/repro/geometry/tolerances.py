@@ -34,6 +34,12 @@ VOLUME_RTOL: float = 1e-6
 #: Tolerance for singular values when estimating affine rank.
 RANK_TOL: float = 1e-8
 
+#: Tolerance (scaled by the data's coordinate magnitude) for deciding which
+#: side of a hyperplane a point lies on when counting halfspace populations —
+#: used by the Tukey-depth oracle and by the depth fast path for line 5's
+#: subset-hull intersection, so both count "on the closed side" identically.
+DEPTH_SIDE_TOL: float = 1e-9
+
 #: Default tolerance used by invariant checkers in the consensus layer when
 #: verifying validity / containment claims produced by this geometry stack.
 INVARIANT_TOL: float = 1e-6

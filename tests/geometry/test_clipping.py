@@ -103,3 +103,25 @@ class TestHalfspaceIntersection2d:
         ys = [v[1] for v in verts]
         assert max(ys) <= 1.0 + 1e-9
         assert max(ys) >= 1.0 - 1e-5  # the top edge is essentially y=1
+
+
+class TestTwoPassRefinement:
+    def test_sliver_vertex_precision(self):
+        # Regression: a sliver bounded by two constraints meeting at angle
+        # ~1e-6 rad.  Single-pass clipping computes crossings on the
+        # synthetic ~1e6-scale box, leaving ~1e-10 absolute offset error
+        # that the tiny angle amplifies to ~1e-4 in the vertex position.
+        # The second clipping pass from a local box must kill this.
+        slope = 1.0 / 900000.0
+        nh = np.array([slope, 1.0])
+        nh = nh / np.linalg.norm(nh)
+        # Region: y >= 2.5e-6, x >= 2.25, slope*x + y <= offset; the tip
+        # sits exactly at x = 4.5.
+        off = float(nh @ np.array([4.5, 2.5e-6]))
+        a = np.array([[0.0, -1.0], [-1.0, 0.0], nh])
+        b = np.array([-2.5e-6, -2.25, off])
+        verts = halfspace_intersection_2d(a, b)
+        assert verts.shape[0] == 3
+        tip_x = float(verts[:, 0].max())
+        assert abs(tip_x - 4.5) < 1e-7
+        assert np.all(np.abs(verts[:, 1][verts[:, 1] < 3e-6] - 2.5e-6) < 1e-12)

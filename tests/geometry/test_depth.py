@@ -84,3 +84,44 @@ class TestSampledAndDispatch:
         pts = Test2d.SQUARE5
         assert in_depth_region([2.0, 2.0], pts, 2)
         assert not in_depth_region([1.0, 1.0], pts, 2)
+
+
+class TestVectorizedSweepMatchesBruteForce:
+    """The batched direction sweep must agree with a literal per-direction
+    loop (the pre-vectorization implementation) on every probe set."""
+
+    @staticmethod
+    def _brute_force(point, points):
+        p = np.asarray(point, dtype=float).reshape(-1)
+        pts = np.asarray(points, dtype=float)
+        rel = pts - p
+        norms = np.linalg.norm(rel, axis=1)
+        coincident = int(np.sum(norms <= 1e-9))
+        rel = rel[norms > 1e-9]
+        if rel.shape[0] == 0:
+            return coincident
+        angles = np.arctan2(rel[:, 1], rel[:, 0])
+        critical = np.concatenate([angles + np.pi / 2, angles - np.pi / 2])
+        critical = np.unique(np.mod(critical, 2 * np.pi))
+        gaps = np.diff(critical, append=critical[0] + 2 * np.pi)
+        probes = np.concatenate([critical, critical + gaps / 2.0])
+        side_tol = 1e-9 * max(1.0, norms.max())
+        best = rel.shape[0]
+        for theta in probes:
+            u = np.array([np.cos(theta), np.sin(theta)])
+            best = min(best, int(np.sum(rel @ u >= -side_tol)))
+        return best + coincident
+
+    def test_random_queries(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            pts = rng.normal(size=(int(rng.integers(3, 15)), 2)) * 2.0
+            q = rng.normal(size=2) * 2.0
+            assert tukey_depth_2d(q, pts) == self._brute_force(q, pts)
+
+    def test_data_point_queries_with_duplicates(self):
+        rng = np.random.default_rng(8)
+        base = rng.normal(size=(5, 2))
+        pts = base[rng.integers(0, 5, size=12)]
+        for q in pts[:6]:
+            assert tukey_depth_2d(q, pts) == self._brute_force(q, pts)

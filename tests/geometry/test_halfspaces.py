@@ -187,3 +187,46 @@ class TestVertexEnumeration:
             assert np.all(a @ v <= b + 1e-9)
         ys = sorted(v[1] for v in verts)
         assert ys[-1] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestDedupeIdempotence:
+    """Regressions for the rounded-key representative bug: returning the
+    rounded grouping key instead of the original unit normal made a second
+    dedupe pass re-normalize and shift offsets by ~1e-9, pinching equality
+    pairs of lower-dimensional regions into infeasibility."""
+
+    def test_returns_original_unit_normals(self):
+        n = np.array([1.0, 1e-6])
+        n = n / np.linalg.norm(n)
+        a = np.array([n, [0.0, -1.0]])
+        b = np.array([0.5, 0.25])
+        da, db = dedupe_halfspaces(a, b)
+        assert da.tobytes() == a.tobytes()  # not rounded, bit-identical
+        assert db.tobytes() == b.tobytes()
+
+    def test_second_pass_is_identity(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(40, 3))
+        b = rng.normal(size=40)
+        a1, b1 = dedupe_halfspaces(a, b)
+        a2, b2 = dedupe_halfspaces(a1, b1)
+        assert a1.tobytes() == a2.tobytes()
+        assert b1.tobytes() == b2.tobytes()
+
+    def test_negative_zero_shares_bucket_with_positive_zero(self):
+        a = np.array([[0.0, -1.0], [-0.0, -1.0]])
+        b = np.array([0.5, 0.25])
+        da, db = dedupe_halfspaces(a, b)
+        assert da.shape[0] == 1
+        assert db[0] == 0.25  # tightest offset of the merged bucket
+
+    def test_equality_pair_of_thin_region_stays_feasible(self):
+        # A segment represented as an equality pair plus side constraints:
+        # deduping twice must not perturb the pair into infeasibility.
+        n = np.array([1e-6, 1.0])
+        n = n / np.linalg.norm(n)
+        a = np.array([n, -n, [1.0, 0.0], [-1.0, 0.0]])
+        b = np.array([2.5e-6, -2.5e-6, 1.0, 1.0])
+        for _ in range(3):
+            a, b = dedupe_halfspaces(a, b)
+        feasible_point(a, b)  # raises InfeasibleRegionError on regression

@@ -104,3 +104,38 @@ class TestHrepCache:
         seg = ConvexPolytope.from_points([[0, 0], [1, 1]])
         assert seg.violation([0.5, 0.5]) <= 1e-9
         assert seg.violation([0.5, 0.6]) > 1e-3
+
+
+class TestCollinearRunEndpoints:
+    """Regression: hypothesis found a point set with a denormal x-extent
+    (~1e-101) where the chain prune dropped a geometric *endpoint* of a
+    near-vertical collinear run.  The lexsort tie-break orders equal-x
+    points by y, which need not match their order along the run, so the
+    sort-middle point can be an exact-arithmetic extreme point.  The prune
+    must only drop points whose projection lies strictly inside the chord."""
+
+    def test_denormal_x_extent_keeps_extreme_point(self):
+        pts = np.array([[-3.5e-101, 0.5], [0.0, -0.5], [0.0, 0.0]])
+        ring = hull_vertices_2d(pts)
+        # (0, -0.5) is extreme: it alone attains the support in -y.
+        assert any(np.allclose(v, [0.0, -0.5], atol=0.0) for v in ring), ring
+        # Support-function linearity at the failure direction of the
+        # original hypothesis counterexample.
+        u = np.array([0.0, -1.0])
+        assert float((ring @ u).max()) == pytest.approx(0.5, abs=1e-12)
+
+    def test_near_vertical_run_keeps_ends_without_duplicates(self):
+        # Same shape at a friendlier scale: x-noise far below eps, three
+        # points within the collinearity band plus one far vertex.  All
+        # four are extreme in exact arithmetic.  An earlier draft of the
+        # prune kept every band point projecting outside the chord, which
+        # let the bottom vertex survive *both* chains and appear twice.
+        pts = np.array(
+            [[1e-12, 2.0], [0.0, 0.0], [-1e-12, 1.0], [5.0, 1.0]]
+        )
+        ring = hull_vertices_2d(pts)
+        ys = sorted(round(float(v[1]), 9) for v in ring)
+        assert 0.0 in ys and 2.0 in ys  # both run endpoints survive
+        # Minimal representation: no vertex may repeat in the ring.
+        as_tuples = [tuple(v) for v in ring]
+        assert len(as_tuples) == len(set(as_tuples)), ring
