@@ -48,13 +48,18 @@ def clip_polygon_by_halfspace(
     ``normal`` is assumed unit (every caller routes through
     :func:`repro.geometry.halfspaces.dedupe_halfspaces`), so ``values``
     below are true signed distances and the inside-test tolerance is a
-    *distance* at the problem's scale — ``|offset|``, the line's distance
-    from the origin — never the current polygon's coordinate span.
-    Scaling by the span was a bug: while the synthetic 1e6 bounding box is
-    still being cut away the span is ~1e6x the data, the tolerance
-    inflates to ~1e-3, and a nearly parallel constraint pair (offsets
-    closer than that) loses its tighter member, displacing vertices of the
-    final region by the full offset gap.
+    *distance* derived from ``|offset|``, the line's distance from the
+    origin — never the current polygon's coordinate span.  Scaling by the
+    span was a bug: while the synthetic 1e6 bounding box is still being
+    cut away the span is ~1e6x the data, the tolerance inflates to ~1e-3,
+    and a nearly parallel constraint pair (offsets closer than that)
+    loses its tighter member, displacing vertices of the final region by
+    the full offset gap.  The offset scale is itself only right when the
+    region is not far from the origin relative to its own size — a
+    1e-4-sized region at offsets ~1e6 still sees eps ~1e-3 and collapses
+    under the duplicate prune below — which is why
+    :func:`halfspace_intersection_2d` re-clips in *centered* coordinates
+    (offsets at the region's own scale) as its second pass.
     """
     m = polygon.shape[0]
     if m == 0:
@@ -105,24 +110,36 @@ def halfspace_intersection_2d(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     # Guard: if any synthetic box corner survived, the region was unbounded.
     if np.max(np.abs(polygon)) >= 0.99e6 * max(float(np.max(np.abs(b))) if b.size else 1.0, 1.0):
         raise ValueError("halfspace region is unbounded")
-    # Second pass from a tight local box.  Edge/line crossings in the first
-    # pass are interpolated along segments of the synthetic ~1e6-scale box,
-    # so every vertex carries an absolute error of ~box * eps_machine
-    # (~1e-10) regardless of the region's own size.  For sliver regions
-    # bounded by nearly parallel constraints that error is amplified by
-    # 1/angle into visible vertex displacement.  Re-clipping from the
-    # (padded, per-axis) bounding rectangle of the first-pass result
-    # recomputes every crossing at the region's own coordinate scale.
+    # Second pass from a tight local box, in coordinates *centered* on the
+    # first-pass result.  Two error sources motivate it:
+    # * Edge/line crossings in the first pass are interpolated along
+    #   segments of the synthetic ~1e6-scale box, so every vertex carries
+    #   an absolute error of ~box * eps_machine (~1e-10) regardless of the
+    #   region's own size; for sliver regions bounded by nearly parallel
+    #   constraints that error is amplified by 1/angle into visible vertex
+    #   displacement.
+    # * The per-halfspace tolerance is eps ~ ABS_TOL * |offset|; for a
+    #   small region far from the origin that is huge relative to the
+    #   region (offsets ~1e6 -> eps ~1e-3), and the duplicate prune can
+    #   collapse the whole ring to a point in the first pass.
+    # Re-clipping the shifted constraints (offset' = offset - normal .
+    # center, now at the region's own scale) from the padded bounding
+    # rectangle of the first-pass result recomputes every crossing — and
+    # every tolerance — at the region's own coordinate scale.  The pad's
+    # absolute term covers the first pass's collapse error (~ABS_TOL *
+    # offset scale), so the box always contains the true region.
     lo = polygon.min(axis=0)
     hi = polygon.max(axis=0)
     pad = 0.25 * (hi - lo) + 1e-6 * (1.0 + np.maximum(np.abs(lo), np.abs(hi)))
-    lo = lo - pad
-    hi = hi + pad
+    center = 0.5 * (lo + hi)
+    lo = lo - pad - center
+    hi = hi + pad - center
+    b_local = b - a @ center
     refined = np.array([[lo[0], lo[1]], [hi[0], lo[1]], [hi[0], hi[1]], [lo[0], hi[1]]])
-    for normal, offset in zip(a, b):
+    for normal, offset in zip(a, b_local):
         refined = clip_polygon_by_halfspace(refined, normal, offset)
         if refined.shape[0] == 0:
             # The padded box clipped to nothing only through tolerance
             # effects at the region boundary; keep the first-pass result.
             return polygon
-    return refined
+    return refined + center

@@ -364,16 +364,34 @@ def vertices_of_halfspace_system(
     if _depth > dim:
         # Cannot reduce further; the region is numerically a point.
         return center.reshape(1, -1)
+    if pinched:
+        # The slack retry shifted every offset by ~ABS_TOL * scale, so the
+        # equality check must absorb violations of that size.
+        eq_tol = max(degeneracy_tol * scale * 10, 1e-8)
+    else:
+        # Feasible at zero slack, so on a genuinely flat region the
+        # equality violations are pure float cancellation noise at this
+        # coordinate magnitude.  The pinched tolerance here would read a
+        # small-but-full-dimensional region far from the origin (size
+        # 1e-4 at ~1e6: radius below the degeneracy gate, constraint
+        # variation below degeneracy_tol * scale * 10) as all equalities
+        # and collapse it to its Chebyshev center.
+        eq_tol = max(64 * np.finfo(float).eps * scale, 1e-8)
     try:
-        eq_idx = _implicit_equalities(
-            a, b, tol=max(degeneracy_tol * scale * 10, 1e-8)
-        )
+        eq_idx = _implicit_equalities(a, b, tol=eq_tol)
     except SolverError:
         # The region is feasible per the Chebyshev LP but so close to
         # empty that a follow-up LP reports infeasibility; numerically it
         # is a single point.
         return center.reshape(1, -1)
     if eq_idx.size == 0:
+        if not pinched:
+            # Small relative to its coordinate magnitude yet genuinely
+            # full-dimensional — no constraint holds with equality — so
+            # enumerate through the full-dimensional path, whose 2-d
+            # clipping re-clips in centered coordinates at the region's
+            # own scale.
+            return _vertices_full_dim(a, b, center)
         # Numerically flat but no clean equality found: treat as a point.
         return center.reshape(1, -1)
     chart = _chart_from_equalities(a[eq_idx], b[eq_idx], center)

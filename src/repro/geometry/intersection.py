@@ -99,11 +99,29 @@ def _mode_from_env() -> str:
     return raw
 
 
+_ENV_RAW = os.environ.get("REPRO_SUBSET_MODE")
 _SUBSET_MODE = _mode_from_env()
 
 
 def subset_mode() -> str:
-    """The active subset-intersection path: ``auto``/``depth``/``enumerate``."""
+    """The active subset-intersection path: ``auto``/``depth``/``enumerate``.
+
+    ``REPRO_SUBSET_MODE`` is re-read on every call, so changing (or
+    unsetting) the variable at runtime takes effect immediately and —
+    like :func:`set_subset_mode` — clears the subset-intersection cache,
+    keeping A/B harnesses that flip the env var between arms from being
+    served entries computed under the other path.  A mode selected with
+    :func:`set_subset_mode` stays in force until the env var *changes
+    again*; an unchanged env var never overrides it.
+    """
+    global _ENV_RAW, _SUBSET_MODE
+    raw = os.environ.get("REPRO_SUBSET_MODE")
+    if raw != _ENV_RAW:
+        _ENV_RAW = raw
+        mode = _mode_from_env()
+        if mode != _SUBSET_MODE:
+            _SUBSET_MODE = mode
+            SUBSET_CACHE.clear()
     return _SUBSET_MODE
 
 
@@ -188,10 +206,22 @@ def depth_region_halfspaces(
         )
     if not 0 <= f <= m - 1:
         raise ValueError(f"need 0 <= f <= m - 1, got f={f}, m={m}")
-    scale = max(1.0, float(np.max(np.abs(pts))))
-    side_tol = DEPTH_SIDE_TOL * scale
-    # Unnormalized normals scale like a product of d-1 edge lengths.
-    span_tol = DEPTH_SIDE_TOL * scale ** (dim - 1)
+    # Work in centroid-centered coordinates.  Normals and side counts are
+    # translation-invariant, so the tolerances must be set by the data's
+    # *extent* (spread about the centroid) — the unnormalized normals
+    # scale like a product of d-1 edge lengths, i.e. extent**(d-1), not
+    # like the coordinate magnitude.  Deriving them from max |coordinate|
+    # rejected every candidate as non-spanning for a unit cluster
+    # translated to ~1e6 (extent 1, tolerance 1e-9 * 1e12) and over-
+    # counted points as on-boundary via the inflated side tolerance.
+    # Centering also matches the depth oracle (tukey_depth_2d /
+    # tukey_depth_sampled), which scales by the spread about the query
+    # point, so both count closed sides identically.
+    centroid = pts.mean(axis=0)
+    cpts = pts - centroid
+    extent = max(1.0, float(np.max(np.abs(cpts))))
+    side_tol = DEPTH_SIDE_TOL * extent
+    span_tol = DEPTH_SIDE_TOL * extent ** (dim - 1)
     need = m - f
     rows: list[np.ndarray] = []
     offs: list[np.ndarray] = []
@@ -200,7 +230,7 @@ def depth_region_halfspaces(
         idx = np.array(list(islice(subset_iter, block)), dtype=int)
         if idx.size == 0:
             break
-        sub = pts[idx]                                  # (k, d, d)
+        sub = cpts[idx]                                 # (k, d, d)
         base = sub[:, 0, :]                             # (k, d)
         normals = _batched_hyperplane_normals(sub[:, 1:, :] - base[:, None, :])
         norms = np.linalg.norm(normals, axis=1)
@@ -210,7 +240,7 @@ def depth_region_halfspaces(
             continue
         normals = normals[spanning] / norms[spanning, None]
         offsets = np.einsum("kd,kd->k", normals, base[spanning])
-        proj = pts @ normals.T                          # (m, k')
+        proj = cpts @ normals.T                         # (m, k')
         below = np.count_nonzero(proj <= offsets[None, :] + side_tol, axis=0)
         above = np.count_nonzero(proj >= offsets[None, :] - side_tol, axis=0)
         keep_lo = below >= need
@@ -229,7 +259,9 @@ def depth_region_halfspaces(
             "dimension — chart-project it first"
         )
     a_all = np.vstack(rows)
-    b_all = np.concatenate(offs)
+    # Translate the centered offsets back to ambient coordinates:
+    # n . (x - c) <= b_c  <=>  n . x <= b_c + n . c.
+    b_all = np.concatenate(offs) + a_all @ centroid
     PERF.depth_halfspaces_kept += a_all.shape[0]
     return dedupe_halfspaces(a_all, b_all)
 
@@ -367,10 +399,12 @@ def subset_intersection_is_nonempty(
     returns True with no geometry at all; pass
     ``use_tverberg_shortcut=False`` to force the full feasibility check
     (the cross-check tests do, to verify the theorem against the
-    computation).  Below the guarantee, the depth fast path answers with
-    a single feasibility LP over the ``O(C(m, d))`` candidate halfspaces
-    instead of ``C(m, f)`` H-rep constructions
-    (``REPRO_SUBSET_MODE=enumerate`` restores the literal enumeration).
+    computation).  Below the guarantee, a single feasibility LP is solved
+    over either the ``O(C(m, d))`` depth candidate halfspaces or the
+    ``C(m, f)`` stacked subset H-reps, routed by the same rule as
+    :func:`intersect_subset_hulls`: ``auto`` takes the depth path exactly
+    when ``C(m, f) > C(m, d)``, and ``REPRO_SUBSET_MODE=depth`` /
+    ``enumerate`` force one path.
     """
     pts = as_points_array(points)
     m, dim = pts.shape
@@ -391,7 +425,8 @@ def subset_intersection_is_nonempty(
         return subset_intersection_is_nonempty(
             chart.to_local(pts), f, use_tverberg_shortcut=use_tverberg_shortcut
         )
-    if subset_mode() == "enumerate":
+    mode = subset_mode()
+    if mode == "enumerate" or (mode == "auto" and comb(m, f) <= comb(m, dim)):
         rows, offs = [], []
         for drop in combinations(range(m), f):
             a, b = hrep_of_hull(np.delete(pts, list(drop), axis=0))

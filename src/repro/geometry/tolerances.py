@@ -34,10 +34,13 @@ VOLUME_RTOL: float = 1e-6
 #: Tolerance for singular values when estimating affine rank.
 RANK_TOL: float = 1e-8
 
-#: Tolerance (scaled by the data's coordinate magnitude) for deciding which
-#: side of a hyperplane a point lies on when counting halfspace populations —
-#: used by the Tukey-depth oracle and by the depth fast path for line 5's
-#: subset-hull intersection, so both count "on the closed side" identically.
+#: Tolerance for deciding which side of a hyperplane a point lies on when
+#: counting halfspace populations — used by the Tukey-depth oracle and by
+#: the depth fast path for line 5's subset-hull intersection, so both count
+#: "on the closed side" identically.  Users scale it by the data's *extent*
+#: (spread about the centroid / query point), never by raw coordinate
+#: magnitude: side counts are translation-invariant, and magnitude-scaled
+#: tolerances blow up on clusters translated far from the origin.
 DEPTH_SIDE_TOL: float = 1e-9
 
 #: Default tolerance used by invariant checkers in the consensus layer when

@@ -58,6 +58,24 @@ class TestHalfspaceIntersection2d:
         got = {tuple(np.round(v, 9)) for v in verts}
         assert got == {(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)}
 
+    def test_small_region_far_from_origin_survives(self):
+        # A size-1e-4 triangle at (1e6, 1e6): the per-halfspace tolerance
+        # eps ~ ABS_TOL * |offset| is ~1e-3 here — larger than the whole
+        # region — so a single clipping pass collapses the ring under the
+        # duplicate prune.  The second pass re-clips in centered
+        # coordinates, where the offsets (and hence eps) are at the
+        # region's own scale, and must recover all three vertices.
+        lo, size = 1e6, 1e-4
+        r = np.sqrt(0.5)
+        a = np.array([[-1.0, 0.0], [0.0, -1.0], [r, r]])
+        b = np.array([-lo, -lo, r * (2 * lo + size)])
+        verts = halfspace_intersection_2d(a, b)
+        assert verts.shape[0] == 3
+        expected = np.array([[lo, lo], [lo + size, lo], [lo, lo + size]])
+        dists = np.linalg.norm(verts[:, None, :] - expected[None, :, :], axis=2)
+        assert float(dists.min(axis=1).max()) < 1e-8
+        assert float(dists.min(axis=0).max()) < 1e-8
+
     def test_empty(self):
         a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
         b = np.array([0.0, -1.0, 1.0, 0.0])

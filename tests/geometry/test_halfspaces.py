@@ -168,6 +168,32 @@ class TestVertexEnumeration:
         assert verts.shape[0] == 4
         assert np.allclose(verts[:, 2], 0.25, atol=1e-7)
 
+    def test_small_full_dim_region_far_from_origin(self):
+        # Regression: a size-1e-4 triangle at (1e6, 1e6) has a Chebyshev
+        # radius below the |center|-scaled degeneracy gate, and the
+        # implicit-equality tolerance at that magnitude (~1e-2) used to
+        # mark every constraint an equality, collapsing the round-trip
+        # hull -> H-rep -> vertices to a single point.  A feasible-at-
+        # zero-slack region whose constraints show no equality within the
+        # float cancellation noise must be enumerated full-dimensionally.
+        tri = np.array([[0.0, 0.0], [1e-4, 0.0], [0.0, 1e-4]]) + 1e6
+        a, b = hrep_of_hull(tri)
+        verts = vertices_of_halfspace_system(a, b)
+        assert verts.shape[0] == 3
+        dists = np.linalg.norm(verts[:, None, :] - tri[None, :, :], axis=2)
+        assert float(dists.min(axis=1).max()) < 1e-8
+        assert float(dists.min(axis=0).max()) < 1e-8
+
+    def test_degenerate_region_far_from_origin_still_collapses(self):
+        # The counterpart guard: genuinely flat regions at the same
+        # coordinate magnitude must keep collapsing to their affine hull.
+        seg = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]]) + 1e6
+        a, b = hrep_of_hull(seg)
+        verts = vertices_of_halfspace_system(a, b)
+        assert verts.shape[0] == 2
+        got = {tuple(np.round(v - 1e6, 5)) for v in verts}
+        assert got == {(0.0, 0.0), (1.0, 1.0)}
+
     def test_nearly_parallel_conditioning(self):
         # Regression: nearly parallel constraint pairs must not displace
         # vertices (the scipy dual-space failure mode).

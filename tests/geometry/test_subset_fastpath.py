@@ -76,6 +76,27 @@ class TestModeSelection:
         monkeypatch.setenv("REPRO_SUBSET_MODE", "enumerate")
         assert _mode_from_env() == "enumerate"
 
+    def test_env_switch_takes_effect_at_runtime(self, monkeypatch):
+        # The env var is re-read on every subset_mode() call; a runtime
+        # change behaves like set_subset_mode (including the cache clear),
+        # so A/B harnesses flipping the variable between arms never see
+        # entries computed under the other path.
+        pts = np.random.default_rng(0).normal(size=(9, 2))
+        intersect_subset_hulls(pts, 2)
+        assert len(SUBSET_CACHE) == 1
+        monkeypatch.setenv("REPRO_SUBSET_MODE", "enumerate")
+        assert subset_mode() == "enumerate"
+        assert len(SUBSET_CACHE) == 0
+        monkeypatch.delenv("REPRO_SUBSET_MODE")
+        assert subset_mode() == "auto"
+
+    def test_unchanged_env_does_not_override_set_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUBSET_MODE", "depth")
+        assert subset_mode() == "depth"
+        set_subset_mode("enumerate")
+        # The env var did not change again, so the explicit setting wins.
+        assert subset_mode() == "enumerate"
+
 
 class TestAutoRouting:
     """``auto`` takes the depth path exactly when C(m, f) > C(m, d)."""
@@ -161,6 +182,54 @@ class TestDepthRegionHalfspaces:
         sys1 = sorted(map(tuple, np.round(np.column_stack([a1, b1]), 9)))
         sys2 = sorted(map(tuple, np.round(np.column_stack([a2, b2]), 9)))
         assert sys1 == sys2
+
+
+class TestAutoRoutingNonemptiness:
+    """The nonemptiness LP applies the same cost rule as the constructor."""
+
+    def _fast_hits(self, pts, f):
+        clear_geometry_caches()
+        before = PERF.snapshot()
+        subset_intersection_is_nonempty(pts, f, use_tverberg_shortcut=False)
+        return PERF.diff(before)["subset_fast_path_hits"]
+
+    def test_routes_to_enumeration_when_smaller(self):
+        pts = np.random.default_rng(1).normal(size=(8, 2))
+        assert subset_count(8, 1) < subset_count(8, 2)
+        assert self._fast_hits(pts, 1) == 0
+
+    def test_routes_to_depth_when_enumeration_larger(self):
+        pts = np.random.default_rng(1).normal(size=(8, 2))
+        assert subset_count(8, 5) > subset_count(8, 2)
+        assert self._fast_hits(pts, 5) == 1
+
+
+class TestTranslatedData:
+    """Tolerance scales must derive from the data's *extent*, not its
+    coordinate magnitude: deriving span_tol from max |coordinate| made
+    depth_region_halfspaces reject every candidate hyperplane for a unit
+    cluster translated to ~1e6 and raise DegenerateInputError."""
+
+    def test_translated_cluster_does_not_crash(self):
+        # The exact crash configuration: m=12, d=3, f=4, N(0,1) + 1e6,
+        # default auto mode (C(12,4) = 495 > C(12,3) = 220 routes depth).
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(12, 3)) + 1e6
+        poly = intersect_subset_hulls(pts, 4)
+        nonempty = subset_intersection_is_nonempty(
+            pts, 4, use_tverberg_shortcut=False
+        )
+        assert nonempty == (not poly.is_empty)
+
+    def test_kept_system_is_translation_invariant(self):
+        rng = np.random.default_rng(8)
+        pts = rng.normal(size=(9, 2))
+        a0, b0 = depth_region_halfspaces(pts, 2)
+        shift = np.array([1e6, -1e6])
+        a1, b1 = depth_region_halfspaces(pts + shift, 2)
+        assert a0.shape == a1.shape
+        np.testing.assert_allclose(a1, a0, atol=1e-9)
+        np.testing.assert_allclose(b1 - a1 @ shift, b0, atol=1e-6)
 
 
 class TestTverbergShortcut:

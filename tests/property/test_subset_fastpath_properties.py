@@ -4,10 +4,11 @@ PR 4 replaces the ``C(m, f)``-hull enumeration behind
 :func:`repro.geometry.intersection.intersect_subset_hulls` with a
 polynomial Tukey-depth construction.  These tests are the correctness
 contract for that swap: on a few hundred seeded multisets — random,
-duplicate-heavy, rank-deficient, and empty-at-the-boundary — the two
-selectable paths must produce the *same polytope* (canonical vertex sets
-within tolerance, emptiness verdicts exactly), and the memoized path must
-stay bit-identical to the unmemoized one.
+duplicate-heavy, rank-deficient, translated far off the origin, and
+empty-at-the-boundary — the two selectable paths must produce the *same
+polytope* (canonical vertex sets within tolerance, emptiness verdicts
+exactly), and the memoized path must stay bit-identical to the
+unmemoized one.
 
 Every case is deterministic (seeded generators, no hypothesis) so a
 failure here is a repro, not a flake.
@@ -30,6 +31,7 @@ from repro.geometry.intersection import (
 RANDOM_SEEDS = range(30)
 DUP_SEEDS = range(20)
 DEFICIENT_SEEDS = range(18)
+TRANSLATED_SEEDS = range(12)
 BOUNDARY_SEEDS = range(5)
 
 
@@ -65,6 +67,20 @@ def _rank_deficient_case(seed: int, d: int):
     offset = rng.normal(size=d)
     pts = local @ basis.T + offset
     f = int(rng.integers(1, min(3, m)))
+    return pts, f
+
+
+def _translated_case(seed: int, d: int):
+    """Unit-extent cluster translated ~1e6 from the origin: every
+    tolerance in the pipeline must derive from the data's extent, not its
+    coordinate magnitude (deriving span_tol from max |coordinate| made
+    the depth path reject every candidate hyperplane and crash on exactly
+    this input class)."""
+    rng = np.random.default_rng(5000 * d + seed)
+    m = int(rng.integers(d + 2, 12))
+    f = int(rng.integers(1, min(4, m)))
+    shift = rng.choice([-1e6, 1e6], size=d)
+    pts = rng.normal(size=(m, d)) + shift
     return pts, f
 
 
@@ -120,7 +136,12 @@ def _assert_equivalent(pts, f, context: str):
     )
     if fast.is_empty:
         return
-    scale = max(1.0, float(np.max(np.abs(pts))))
+    # Scale the agreement tolerance by the data's extent about its
+    # centroid, not by max |coordinate|: for the translated families the
+    # latter is ~1e6 while the region is unit-sized, which would make the
+    # vertex comparison vacuously loose (measured path agreement there is
+    # ~1e-9, so the extent-scaled tolerance still has ample margin).
+    scale = max(1.0, float(np.max(np.abs(pts - pts.mean(axis=0)))))
     # 3-d regions route through Qhull + vertex polishing on both paths,
     # whose agreement is a few ulps worse than the exact 2-d clipping.
     tol = (1e-6 if pts.shape[1] <= 2 else 1e-5) * scale
@@ -135,7 +156,7 @@ def _assert_equivalent(pts, f, context: str):
 
 
 # ----------------------------------------------------------------------
-# The suite: 230 seeded cases across the four families, d = 1, 2, 3
+# The suite: 250+ seeded cases across the five families, d = 1, 2, 3
 # ----------------------------------------------------------------------
 
 class TestDepthPathMatchesEnumerationOracle:
@@ -156,6 +177,12 @@ class TestDepthPathMatchesEnumerationOracle:
     def test_rank_deficient(self, seed, d):
         pts, f = _rank_deficient_case(seed, d)
         _assert_equivalent(pts, f, f"deficient d={d} seed={seed} f={f}")
+
+    @pytest.mark.parametrize("d", [2, 3])
+    @pytest.mark.parametrize("seed", TRANSLATED_SEEDS)
+    def test_translated_cluster(self, seed, d):
+        pts, f = _translated_case(seed, d)
+        _assert_equivalent(pts, f, f"translated d={d} seed={seed} f={f}")
 
     @pytest.mark.parametrize("d,f", [(2, 1), (2, 2), (3, 1), (3, 2)])
     @pytest.mark.parametrize("seed", BOUNDARY_SEEDS)
