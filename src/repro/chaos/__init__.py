@@ -6,7 +6,9 @@ closes the gap stochastically:
 
 * :mod:`~repro.chaos.generator` — seeded random scenarios (inputs ×
   fault plans × schedulers), with explicit ``below-bound`` and
-  ``beyond-bound`` probe profiles around the Theorem 2 resilience bound;
+  ``beyond-bound`` probe profiles around the Theorem 2 resilience bound,
+  plus ``lossy`` / ``partition-heal`` / ``partition-forever`` profiles
+  over the link-fault space of the lossy fabric + reliable transport;
 * :mod:`~repro.chaos.runner` — one-case execution with streaming
   invariant checking and full schedule recording;
 * :mod:`~repro.chaos.shrinker` — delta-debugging of violations down to
@@ -33,15 +35,20 @@ from .campaign import (
     run_campaign,
 )
 from .generator import (
+    EXPECTED_VIOLATION_LABELS,
     LABEL_BELOW,
     LABEL_BEYOND,
     LABEL_LEGAL,
+    LABEL_LOSSY,
+    LABEL_PARTITION_FOREVER,
+    LABEL_PARTITION_HEAL,
     PROFILES,
     SCHEDULER_BUILDERS,
     WORKLOAD_BUILDERS,
     FuzzCase,
     FuzzConfig,
     build_inputs,
+    build_link_plan,
     build_plan,
     build_scheduler,
     generate_case,
@@ -65,9 +72,13 @@ __all__ = [
     "FuzzCase",
     "FuzzConfig",
     "FuzzOutcome",
+    "EXPECTED_VIOLATION_LABELS",
     "LABEL_BELOW",
     "LABEL_BEYOND",
     "LABEL_LEGAL",
+    "LABEL_LOSSY",
+    "LABEL_PARTITION_FOREVER",
+    "LABEL_PARTITION_HEAL",
     "PROFILES",
     "SCHEDULER_BUILDERS",
     "STATUS_ERROR",
@@ -77,6 +88,7 @@ __all__ = [
     "ViolationRecord",
     "WORKLOAD_BUILDERS",
     "build_inputs",
+    "build_link_plan",
     "build_plan",
     "build_scheduler",
     "campaign_tasks",

@@ -9,11 +9,13 @@ campaign archive: kill a campaign, ``--resume`` it, and only the
 unfinished cells re-run.
 
 Campaign triage distinguishes *expected* findings (violations in
-``below-bound`` / ``beyond-bound`` probe cases, which deliberately break
-the Theorem 2 premise) from *unexpected* ones (any violation in a
-``legal`` case — an implementation bug, the thing the fuzzer exists to
-catch).  :func:`hunt` is the sequential until-first-violation loop used
-by the self-test and ``repro fuzz --until-violation``.
+``below-bound`` / ``beyond-bound`` / ``partition-forever`` probe cases,
+which deliberately break a premise — the Theorem 2 bound or the
+fair-lossy channel assumption) from *unexpected* ones (any violation in
+a ``legal``, ``lossy``, or ``partition-heal`` case — an implementation
+bug, the thing the fuzzer exists to catch).  :func:`hunt` is the
+sequential until-first-violation loop used by the self-test and
+``repro fuzz --until-violation``.
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ from ..analysis.engine import EngineReport, TaskSpec, run_grid, task_key
 from ..analysis.reporting import render_table
 from .bundle import make_bundle, write_bundle
 from .generator import (
-    LABEL_LEGAL,
+    EXPECTED_VIOLATION_LABELS,
     FuzzCase,
     FuzzConfig,
     generate_case,
@@ -121,13 +123,21 @@ class CampaignSummary:
 
     @property
     def expected_violations(self) -> list[dict[str, Any]]:
-        """Violations in probe cases that deliberately break the bound."""
-        return [r for r in self.violations if r["label"] != LABEL_LEGAL]
+        """Violations in probe cases that deliberately break a premise."""
+        return [
+            r
+            for r in self.violations
+            if r["label"] in EXPECTED_VIOLATION_LABELS
+        ]
 
     @property
     def unexpected_violations(self) -> list[dict[str, Any]]:
-        """Violations in legal cases — these are implementation bugs."""
-        return [r for r in self.violations if r["label"] == LABEL_LEGAL]
+        """Violations where every premise held — implementation bugs."""
+        return [
+            r
+            for r in self.violations
+            if r["label"] not in EXPECTED_VIOLATION_LABELS
+        ]
 
     def triage_table(self) -> str:
         """Counts per (label, violation kind) — the campaign's one-look view."""

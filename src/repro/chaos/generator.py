@@ -23,6 +23,21 @@ Three sampling profiles pin the relationship to the Theorem 2 bound
   these violations as *expected* findings, not bugs.
 
 ``mixed`` interleaves all three (deterministically, by seed).
+
+Three further profiles sample the *link*-fault space (the lossy fabric
+beneath the reliable transport, :mod:`repro.runtime.transport`):
+
+* ``lossy``             — legal process config over links with loss up to
+  0.3, duplication up to 0.2, delay/reorder jitter, and (half the time) a
+  healing partition: the transport must earn the paper's channel model
+  back, so any violation is an implementation bug.
+* ``partition-heal``    — a clean partition isolating one or two
+  processes for a bounded interval, then healing: again zero violations
+  expected.
+* ``partition-forever`` — one process partitioned away and never healed.
+  Termination is *impossible* (the channel model's fairness premise is
+  broken), and the run must end in the transport's delivery-budget abort
+  rather than a hang — campaigns count these violations as expected.
 """
 
 from __future__ import annotations
@@ -35,7 +50,7 @@ import numpy as np
 from ..analysis.serialization import fault_plan_from_obj, fault_plan_to_obj
 from ..core.config import required_processes
 from ..core.runner import derive_bounds
-from ..runtime.faults import CrashSpec, FaultPlan
+from ..runtime.faults import CrashSpec, FaultPlan, LinkFaultPlan, LinkFaultSpec
 from ..runtime.scheduler import (
     AdaptiveAdversaryScheduler,
     BurstyScheduler,
@@ -49,8 +64,26 @@ from ..workloads import inputs as gen
 LABEL_LEGAL = "legal"
 LABEL_BELOW = "below-bound"
 LABEL_BEYOND = "beyond-bound"
+LABEL_LOSSY = "lossy"
+LABEL_PARTITION_HEAL = "partition-heal"
+LABEL_PARTITION_FOREVER = "partition-forever"
 
-PROFILES = (LABEL_LEGAL, LABEL_BELOW, LABEL_BEYOND, "mixed")
+PROFILES = (
+    LABEL_LEGAL,
+    LABEL_BELOW,
+    LABEL_BEYOND,
+    "mixed",
+    LABEL_LOSSY,
+    LABEL_PARTITION_HEAL,
+    LABEL_PARTITION_FOREVER,
+)
+
+#: Profiles whose violations a campaign counts as expected findings:
+#: the probes deliberately break a premise (the Theorem 2 bound or the
+#: fair-lossy channel assumption).
+EXPECTED_VIOLATION_LABELS = frozenset(
+    {LABEL_BELOW, LABEL_BEYOND, LABEL_PARTITION_FOREVER}
+)
 
 #: Workload name -> (n, d, seed) -> inputs array.  A subset of the input
 #: catalogue that is well-defined for every (n, d) the generator emits.
@@ -93,6 +126,10 @@ class FuzzConfig:
     outlier_probability: float = 0.5
     outlier_magnitude: float = 3.0
     max_crash_round: int = 2
+    #: Set False to fuzz with the recovery layer bypassed: lossy cases
+    #: must then trip the delivery-boundary ChannelError oracle (the
+    #: negative control of the transport's end-to-end test).
+    reliable_transport: bool = True
 
     def __post_init__(self) -> None:
         if self.profile not in PROFILES:
@@ -119,6 +156,7 @@ class FuzzConfig:
             "outlier_probability": self.outlier_probability,
             "outlier_magnitude": self.outlier_magnitude,
             "max_crash_round": self.max_crash_round,
+            "reliable_transport": self.reliable_transport,
         }
 
     @classmethod
@@ -135,6 +173,7 @@ class FuzzConfig:
             outlier_probability=float(data["outlier_probability"]),
             outlier_magnitude=float(data["outlier_magnitude"]),
             max_crash_round=int(data["max_crash_round"]),
+            reliable_transport=bool(data.get("reliable_transport", True)),
         )
 
 
@@ -162,6 +201,9 @@ class FuzzCase:
     outlier_pids: tuple[int, ...] = ()
     outlier_magnitude: float = 3.0
     enforce_resilience: bool = True
+    #: JSON form of a :class:`LinkFaultPlan` (None = reliable network).
+    link_faults: dict | None = None
+    reliable_transport: bool = True
 
     def to_json_dict(self) -> dict[str, Any]:
         return {
@@ -179,6 +221,8 @@ class FuzzCase:
             "outlier_pids": list(self.outlier_pids),
             "outlier_magnitude": self.outlier_magnitude,
             "enforce_resilience": self.enforce_resilience,
+            "link_faults": self.link_faults,
+            "reliable_transport": self.reliable_transport,
         }
 
     @classmethod
@@ -198,6 +242,12 @@ class FuzzCase:
             outlier_pids=tuple(int(p) for p in data["outlier_pids"]),
             outlier_magnitude=float(data["outlier_magnitude"]),
             enforce_resilience=bool(data["enforce_resilience"]),
+            link_faults=(
+                dict(data["link_faults"])
+                if data.get("link_faults") is not None
+                else None
+            ),
+            reliable_transport=bool(data.get("reliable_transport", True)),
         )
 
 
@@ -225,6 +275,13 @@ def build_scheduler(case: FuzzCase) -> Scheduler:
     return SCHEDULER_BUILDERS[case.scheduler](case.scheduler_seed, slow)
 
 
+def build_link_plan(case: FuzzCase) -> LinkFaultPlan | None:
+    """The case's link-fault plan, or None for the reliable network."""
+    if case.link_faults is None:
+        return None
+    return LinkFaultPlan.from_json_dict(case.link_faults)
+
+
 def _pick(rng: np.random.Generator, options) -> Any:
     return options[int(rng.integers(0, len(options)))]
 
@@ -250,6 +307,12 @@ def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
     elif label == LABEL_BEYOND:
         n = bound + int(rng.integers(0, config.max_extra_processes + 1))
         fault_count = f + 1
+    elif label == LABEL_PARTITION_FOREVER:
+        # Keep the process side clean: the only broken premise is the
+        # never-healing link cut, so the inevitable delivery-budget abort
+        # is attributable to exactly that.
+        n = bound + int(rng.integers(0, config.max_extra_processes + 1))
+        fault_count = 0
     else:
         n = bound + int(rng.integers(0, config.max_extra_processes + 1))
         fault_count = f
@@ -283,6 +346,48 @@ def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
     workload = str(_pick(rng, config.workloads))
     scheduler = str(_pick(rng, config.schedulers))
 
+    # Link-fault sampling happens last so the draw stream of the original
+    # profiles is untouched — old (config, seed) pairs regenerate the
+    # exact cases they always did.
+    link_plan: LinkFaultPlan | None = None
+    if label in (LABEL_LOSSY, LABEL_PARTITION_HEAL, LABEL_PARTITION_FOREVER):
+        plan_seed = int(rng.integers(0, 2**31))
+        if label == LABEL_LOSSY:
+            base = LinkFaultSpec(
+                loss=float(np.round(0.05 + 0.25 * rng.random(), 4)),
+                dup=float(np.round(0.2 * rng.random(), 4)),
+                delay=int(rng.integers(0, 5)),
+                reorder=float(np.round(0.5 * rng.random(), 4)),
+            )
+            if rng.random() < 0.5:
+                pid = int(rng.integers(0, n))
+                start = int(rng.integers(0, 80))
+                width = int(rng.integers(40, 400))
+                link_plan = LinkFaultPlan.isolate(
+                    [pid], n, start, start + width, base=base, seed=plan_seed
+                )
+            else:
+                link_plan = LinkFaultPlan(default=base, seed=plan_seed)
+        elif label == LABEL_PARTITION_HEAL:
+            k = 1 if n <= 4 or rng.random() < 0.7 else 2
+            pids = sorted(
+                int(p) for p in rng.choice(n, size=k, replace=False)
+            )
+            start = int(rng.integers(0, 120))
+            width = int(rng.integers(50, 500))
+            mild = LinkFaultSpec(
+                loss=float(np.round(0.1 * rng.random(), 4))
+            )
+            link_plan = LinkFaultPlan.isolate(
+                pids, n, start, start + width, base=mild, seed=plan_seed
+            )
+        else:  # LABEL_PARTITION_FOREVER
+            pid = int(rng.integers(0, n))
+            start = int(rng.integers(0, 10))
+            link_plan = LinkFaultPlan.isolate(
+                [pid], n, start, None, seed=plan_seed
+            )
+
     return FuzzCase(
         case_id=f"{label}-s{seed}",
         seed=int(seed),
@@ -298,4 +403,8 @@ def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
         outlier_pids=outlier_pids,
         outlier_magnitude=config.outlier_magnitude,
         enforce_resilience=label != LABEL_BELOW,
+        link_faults=(
+            link_plan.to_json_dict() if link_plan is not None else None
+        ),
+        reliable_transport=config.reliable_transport,
     )

@@ -38,9 +38,16 @@ from ..core.invariants import (
 )
 from ..core.runner import run_convex_hull_consensus
 from ..runtime.faults import FaultPlan
+from ..runtime.network import ChannelError
 from ..runtime.scheduler import ReplayScheduler, ScheduleRecorder, Scheduler
 from ..runtime.simulator import SimulationError
-from .generator import FuzzCase, build_inputs, build_plan, build_scheduler
+from .generator import (
+    FuzzCase,
+    build_inputs,
+    build_link_plan,
+    build_plan,
+    build_scheduler,
+)
 
 STATUS_OK = "ok"
 STATUS_VIOLATION = "violation"
@@ -54,8 +61,9 @@ class ViolationRecord:
     ``kind`` is the coarse invariant family (``"validity"``,
     ``"agreement"``, ``"termination"``, ``"optimality"``,
     ``"stable-vector-liveness"``, ``"stable-vector-containment"``,
-    ``"empty-initial-polytope"``); shrinking only requires the *kind* to
-    survive a reduction, not the exact magnitude in ``detail``.
+    ``"empty-initial-polytope"``, ``"channel-contract"``); shrinking only
+    requires the *kind* to survive a reduction, not the exact magnitude
+    in ``detail``.
     """
 
     kind: str
@@ -211,6 +219,8 @@ def run_case(
             input_bounds=input_bounds,
             enforce_resilience=case.enforce_resilience,
             observer=checker,
+            link_faults=build_link_plan(case),
+            reliable_transport=case.reliable_transport,
         )
     except OnlineViolation as violation:
         return snapshot(
@@ -229,9 +239,23 @@ def run_case(
                 kind="empty-initial-polytope", detail=str(exc)
             ),
         )
+    except ChannelError as exc:
+        # The delivery-boundary oracle: the transport handed the
+        # application something other than the FIFO exactly-once stream.
+        # Reachable only with the recovery layer bypassed (raw mode) or
+        # on a genuine transport bug — either way it is the channel
+        # *contract* that failed, not a protocol property.
+        return snapshot(
+            STATUS_VIOLATION,
+            violation=ViolationRecord(
+                kind="channel-contract", detail=str(exc)
+            ),
+        )
     except SimulationError as exc:
         # Quiescence with undecided fault-free processes = Termination
         # violated; a runaway loop is also a (liveness-flavoured) finding.
+        # TransportBudgetError lands here too: a never-healing partition
+        # exhausts the delivery budget instead of hanging.
         return snapshot(
             STATUS_VIOLATION,
             violation=ViolationRecord(kind="termination", detail=str(exc)),

@@ -3,7 +3,11 @@
 Commands
 --------
 ``scenario``        run a named adversarial scenario and report the outcome
-``consensus``       run an ad-hoc convex hull consensus instance
+``consensus``       run an ad-hoc convex hull consensus instance (alias:
+                    ``run``) — ``--loss-rate``/``--dup-rate``/
+                    ``--partition`` put it on the lossy fabric behind the
+                    reliable transport; ``--raw-transport`` bypasses the
+                    recovery layer to demonstrate the delivery oracle
 ``verify``          re-check a dumped trace (invariants + matrix theory)
 ``sweep``           run a scenario across seeds — ``--workers N`` shards the
                     grid over a process pool, ``--run-dir DIR`` checkpoints
@@ -35,7 +39,7 @@ from .core.matrix import (
     verify_state_evolution,
 )
 from .core.runner import run_convex_hull_consensus
-from .runtime.faults import CrashSpec, FaultPlan
+from .runtime.faults import CrashSpec, FaultPlan, LinkFaultPlan, LinkFaultSpec
 from .workloads import scenarios as scenario_mod
 from .workloads import inputs as input_gen
 
@@ -77,6 +81,43 @@ def _parse_crash(spec: str) -> tuple[int, tuple[int, int]]:
         )
     pid, round_index, after = (int(p) for p in parts)
     return pid, (round_index, after)
+
+
+def _parse_partition(spec: str) -> tuple[tuple[int, ...], int, int | None]:
+    """Parse ``PIDS:START:HEAL`` (pids comma-separated, heal -1 = never)."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"partition spec must be PIDS:START:HEAL, got {spec!r}"
+        )
+    try:
+        pids = tuple(int(p) for p in parts[0].split(",") if p)
+        start, heal = int(parts[1]), int(parts[2])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"partition spec must be PIDS:START:HEAL, got {spec!r}"
+        ) from exc
+    if not pids:
+        raise argparse.ArgumentTypeError("partition needs at least one pid")
+    return pids, start, (None if heal < 0 else heal)
+
+
+def _build_link_plan(args, n: int) -> LinkFaultPlan | None:
+    """Assemble the CLI's link-fault flags into a plan (None = reliable)."""
+    base = LinkFaultSpec(
+        loss=args.loss_rate,
+        dup=args.dup_rate,
+        delay=args.link_delay,
+        reorder=args.reorder_rate,
+    )
+    if args.partition is not None:
+        pids, start, heal = args.partition
+        return LinkFaultPlan.isolate(
+            pids, n, start, heal, base=base, seed=args.link_seed
+        )
+    if base.faulty or args.raw_transport:
+        return LinkFaultPlan(default=base, seed=args.link_seed)
+    return None
 
 
 def _summarise(result, out=None) -> None:
@@ -171,10 +212,36 @@ def cmd_consensus(args) -> int:
                 for pid, (r, k) in crashes.items()
             },
         )
-    result = run_convex_hull_consensus(
-        inputs, args.f, args.eps, fault_plan=plan, seed=args.seed
-    )
+    from .runtime.network import ChannelError
+    from .runtime.simulator import SimulationError
+
+    link_plan = _build_link_plan(args, args.n)
+    try:
+        result = run_convex_hull_consensus(
+            inputs,
+            args.f,
+            args.eps,
+            fault_plan=plan,
+            seed=args.seed,
+            link_faults=link_plan,
+            reliable_transport=not args.raw_transport,
+        )
+    except ChannelError as exc:
+        print(f"channel contract violated: {exc}", file=sys.stderr)
+        return 1
+    except SimulationError as exc:
+        print(f"no termination: {exc}", file=sys.stderr)
+        return 1
     _summarise(result)
+    if link_plan is not None:
+        counters = result.report.perf_counters
+        print(
+            f"transport: retransmissions={counters.get('retransmissions', 0)} "
+            f"acks={counters.get('ack_messages', 0)} "
+            f"dup_drops={counters.get('dup_drops', 0)} "
+            f"link_drops={counters.get('link_drops', 0)} "
+            f"partition_heals={counters.get('partition_heals', 0)}"
+        )
     ok = _check_and_report(result.trace, matrix_checks=args.matrix)
     if args.dump:
         dump_trace(result.trace, args.dump)
@@ -267,7 +334,10 @@ def cmd_fuzz(args) -> int:
             )
         return 0 if identical else 1
 
-    config = FuzzConfig(profile=args.profile)
+    config = FuzzConfig(
+        profile=args.profile,
+        reliable_transport=not args.raw_transport,
+    )
 
     if args.until_violation:
         found = hunt(
@@ -388,7 +458,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scenario.set_defaults(func=cmd_scenario)
 
-    p_run = sub.add_parser("consensus", help="run an ad-hoc instance")
+    p_run = sub.add_parser(
+        "consensus", aliases=["run"], help="run an ad-hoc instance"
+    )
     p_run.add_argument("--n", type=int, default=8)
     p_run.add_argument("--d", type=int, default=2)
     p_run.add_argument("--f", type=int, default=1)
@@ -403,6 +475,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="PID:ROUND:SENDS",
         help="crash process PID in ROUND after SENDS sends (repeatable)",
+    )
+    p_run.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="per-transmission drop probability on every link (< 1)",
+    )
+    p_run.add_argument(
+        "--dup-rate",
+        type=float,
+        default=0.0,
+        help="per-transmission duplication probability on every link",
+    )
+    p_run.add_argument(
+        "--reorder-rate",
+        type=float,
+        default=0.0,
+        help="probability of extra reordering jitter per frame",
+    )
+    p_run.add_argument(
+        "--link-delay",
+        type=int,
+        default=0,
+        help="maximum uniform extra delivery delay in fabric steps",
+    )
+    p_run.add_argument(
+        "--partition",
+        type=_parse_partition,
+        metavar="PIDS:START:HEAL",
+        default=None,
+        help="isolate comma-separated PIDS over fabric clock "
+        "[START, HEAL); HEAL -1 never heals (delivery-budget abort)",
+    )
+    p_run.add_argument(
+        "--link-seed",
+        type=int,
+        default=0,
+        help="seed of the per-link fault RNG streams",
+    )
+    p_run.add_argument(
+        "--raw-transport",
+        action="store_true",
+        help="bypass the reliable-delivery layer: lossy links then trip "
+        "the ChannelError oracle at the delivery boundary",
     )
     p_run.add_argument("--dump", metavar="FILE", default=None)
     p_run.add_argument("--matrix", action="store_true")
@@ -474,8 +590,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--profile",
         default="legal",
-        choices=["legal", "below-bound", "beyond-bound", "mixed"],
-        help="sampling profile relative to the n >= (d+2)f+1 bound",
+        choices=[
+            "legal",
+            "below-bound",
+            "beyond-bound",
+            "mixed",
+            "lossy",
+            "partition-heal",
+            "partition-forever",
+        ],
+        help="sampling profile: relative to the n >= (d+2)f+1 bound, or "
+        "over the link-fault space (lossy fabric + reliable transport)",
+    )
+    p_fuzz.add_argument(
+        "--raw-transport",
+        action="store_true",
+        help="fuzz with the recovery layer bypassed — lossy cases must "
+        "then trip the delivery-boundary oracle (negative control)",
     )
     p_fuzz.add_argument(
         "--workers",

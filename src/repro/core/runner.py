@@ -93,6 +93,8 @@ def run_convex_hull_consensus(
     input_bounds: tuple[float, float] | None = None,
     enforce_resilience: bool = True,
     observer=None,
+    link_faults=None,
+    reliable_transport: bool = True,
 ) -> CCResult:
     """Run Algorithm CC on the given inputs under the given adversary.
 
@@ -122,6 +124,15 @@ def run_convex_hull_consensus(
         is called before the run and ``observer.poll()`` after every
         delivery; a poll may raise to abort the execution early (the
         chaos engine's online invariant checking).
+    link_faults:
+        Optional :class:`~repro.runtime.faults.LinkFaultPlan`: run over
+        the lossy fabric + reliable transport instead of the structural
+        reliable network (see :mod:`repro.runtime.transport`).
+    reliable_transport:
+        Set False (with or without ``link_faults``) to bypass the
+        recovery layer — the delivery-boundary oracle then raises
+        :class:`~repro.runtime.channel.ChannelError` on the first
+        loss/duplication/reorder the fabric inflicts.
 
     Returns a :class:`CCResult`; raises
     :class:`~repro.core.algorithm_cc.EmptyInitialPolytopeError` if the
@@ -151,7 +162,12 @@ def run_convex_hull_consensus(
         observer.bind(traces, plan, config)
         on_deliver = observer.poll
     report = run_simulation(
-        cores, fault_plan=plan, scheduler=sched, on_deliver=on_deliver
+        cores,
+        fault_plan=plan,
+        scheduler=sched,
+        on_deliver=on_deliver,
+        link_faults=link_faults,
+        reliable_transport=reliable_transport,
     )
 
     trace = ExecutionTrace(

@@ -81,6 +81,15 @@ class PerfCounters:
     lp_solves: int = 0
     minkowski_pairs: int = 0
     minkowski_candidates: int = 0
+    # Transport-layer counters (repro.runtime.transport): incremented by
+    # the lossy fabric and reliable-delivery layer, surfaced through
+    # SimulationReport.perf_counters like the geometry counters above.
+    retransmissions: int = 0
+    dup_drops: int = 0
+    ack_messages: int = 0
+    partition_heals: int = 0
+    link_drops: int = 0
+    link_dups: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -90,29 +90,60 @@ def _active_set_refine(
     m = vertices.shape[0]
     scale_sq = max(float(np.max(np.abs(vertices))), 1.0) ** 2
     kkt_tol = 1e-11 * scale_sq
+
+    def objective(coeffs: np.ndarray) -> float:
+        diff = coeffs @ vertices - point
+        return float(diff @ diff)
+
     support = set(np.nonzero(lam > 1e-9)[0].tolist())
     if not support:
         support = {int(np.argmax(lam))}
-    best_lam = lam
+    current = np.zeros(m)
+    idx = np.array(sorted(support), dtype=int)
+    current[idx] = np.maximum(lam[idx], 0.0)
+    total = current.sum()
+    if total > 0.0:
+        current /= total
+    else:
+        current[idx] = 1.0 / idx.size
+    best_lam = current.copy()
+    best_obj = objective(best_lam)
+
     for _ in range(max_rounds):
         support_idx = np.array(sorted(support), dtype=int)
         s = _solve_equality_kkt(point, vertices, support_idx)
         if s is None:
             return best_lam
-        # Drop constraint-violating coefficients one at a time.
-        while np.any(s < -1e-12):
-            drop_pos = int(np.argmin(s))
-            support.discard(int(support_idx[drop_pos]))
+        if np.any(s < -1e-12):
+            # Wolfe step: walk from the current feasible point toward the
+            # affine optimum until the first coefficient hits zero, then
+            # drop it and re-solve.  Unlike clamping the negative entries,
+            # this keeps the objective monotone, so the support cannot
+            # cycle back to a previously dropped configuration.
+            cur = current[support_idx]
+            crossing = s < -1e-12
+            alpha = float(np.min(cur[crossing] / (cur[crossing] - s[crossing])))
+            alpha = min(max(alpha, 0.0), 1.0)
+            stepped = np.maximum((1.0 - alpha) * cur + alpha * s, 0.0)
+            total = stepped.sum()
+            if total <= 0.0:
+                return best_lam
+            current = np.zeros(m)
+            current[support_idx] = stepped / total
+            support = set(np.nonzero(current > 1e-12)[0].tolist())
             if not support:
                 return best_lam
-            support_idx = np.array(sorted(support), dtype=int)
-            s = _solve_equality_kkt(point, vertices, support_idx)
-            if s is None:
-                return best_lam
+            obj = objective(current)
+            if obj < best_obj:
+                best_obj, best_lam = obj, current.copy()
+            continue
         candidate = np.zeros(m)
         candidate[support_idx] = np.maximum(s, 0.0)
         candidate /= candidate.sum()
-        best_lam = candidate
+        current = candidate
+        obj = objective(candidate)
+        if obj < best_obj:
+            best_obj, best_lam = obj, candidate.copy()
         # KKT check: gradient g_i = v_i . (x - p) must satisfy
         # g_i == nu on the support, g_i >= nu off it.
         x = candidate @ vertices

@@ -6,7 +6,7 @@ faults with incorrect inputs — deterministically, seeded, with complete
 execution traces.
 """
 
-from .faults import CrashSpec, FaultPlan
+from .faults import CrashSpec, FaultPlan, LinkFaultPlan, LinkFaultSpec
 from .lockstep import run_lockstep_consensus, run_lockstep_simulation
 from .messages import (
     Envelope,
@@ -32,6 +32,12 @@ from .scheduler import (
 )
 from .simulator import SimulationError, SimulationReport, run_simulation
 from .stable_vector import StableVectorEngine
+from .transport import (
+    LossyFabric,
+    TransportBudgetError,
+    TransportNetwork,
+    run_transport_simulation,
+)
 from .tracing import ExecutionTrace, ProcessTrace
 
 __all__ = [
@@ -45,6 +51,9 @@ __all__ = [
     "FaultPlan",
     "FifoFairScheduler",
     "InputTuple",
+    "LinkFaultPlan",
+    "LinkFaultSpec",
+    "LossyFabric",
     "Network",
     "Outgoing",
     "ProcessShell",
@@ -61,7 +70,10 @@ __all__ = [
     "SimulationReport",
     "StableVectorEngine",
     "TargetedDelayScheduler",
+    "TransportBudgetError",
+    "TransportNetwork",
     "default_scheduler",
+    "run_transport_simulation",
     "run_lockstep_consensus",
     "run_lockstep_simulation",
     "freeze_point",

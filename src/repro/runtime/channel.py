@@ -55,11 +55,16 @@ class Channel:
         return self._queue[0]
 
     def deliver_head(self) -> Envelope:
-        env = self._queue.popleft()
+        # Peek-verify-pop: the sequence check runs *before* the queue
+        # mutates, so a FIFO violation leaves the channel exactly as the
+        # scheduler saw it — repro bundles and post-mortem inspection get
+        # the offending head still in place instead of a half-popped queue.
+        env = self._queue[0]
         if env.seq != self._next_deliver_seq:
             raise ChannelError(
                 f"channel {self.src}->{self.dst}: delivered seq {env.seq}, "
                 f"expected {self._next_deliver_seq}"
             )
+        self._queue.popleft()
         self._next_deliver_seq += 1
         return env

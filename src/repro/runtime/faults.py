@@ -15,11 +15,20 @@ and after how many individual sends within that round.  A
 them have incorrect inputs (all of them, in this model; the class still
 tracks the flag so the crash-with-*correct*-inputs variant mentioned in the
 paper's introduction can be expressed by experiments).
+
+Beyond process faults, this module also declares **link faults** — the
+loss, duplication, delay/reorder, and partition behaviour of the
+:class:`~repro.runtime.transport.LossyFabric`.  The paper *postulates*
+reliable FIFO exactly-once channels; a :class:`LinkFaultSpec` describes
+how far a physical link deviates from that postulate, and the
+:class:`~repro.runtime.transport.ReliableTransport` layer is what earns
+the postulate back (see ``docs/FAULT_MODEL.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
 
 
 @dataclass(frozen=True)
@@ -128,3 +137,214 @@ class FaultPlan:
     def silent_faulty(pids) -> "FaultPlan":
         """Faulty (incorrect inputs) but never crashing - Theorem 3's case."""
         return FaultPlan(faulty=frozenset(pids))
+
+
+# ----------------------------------------------------------------------
+# Link faults: the fair-lossy fabric beneath the reliable transport
+# ----------------------------------------------------------------------
+
+#: Sentinel for a partition interval that never heals.
+NEVER_HEALS: int | None = None
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """Fault behaviour of one directed physical link.
+
+    All probabilities are per *transmission attempt* (retransmissions
+    re-roll), all durations are in fabric clock steps (one step per
+    frame delivery; idle periods advance the clock to the next timer):
+
+    ``loss``
+        probability a transmitted frame is dropped;
+    ``dup``
+        probability an accepted frame is enqueued twice (the copy gets
+        an independent delay, so duplicates can overtake originals);
+    ``delay``
+        maximum uniform extra steps before a frame becomes deliverable
+        (0 = deliverable immediately);
+    ``reorder``
+        probability an accepted frame draws an *additional* large delay
+        (up to ``3 * (delay + 1)`` steps) — the jitter that makes frames
+        overtake each other even on otherwise fast links;
+    ``partitions``
+        ``(start, heal)`` clock intervals during which the link carries
+        nothing: frames transmitted inside an interval are dropped, and
+        queued frames are withheld until ``heal``.  ``heal=None`` means
+        the partition never heals (the graceful-degradation probe).
+    """
+
+    loss: float = 0.0
+    dup: float = 0.0
+    delay: int = 0
+    reorder: float = 0.0
+    partitions: tuple[tuple[int, int | None], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "dup", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.loss >= 1.0:
+            raise ValueError("loss must be < 1 (a fair-lossy link)")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+        object.__setattr__(
+            self,
+            "partitions",
+            tuple(
+                (int(start), None if heal is None else int(heal))
+                for start, heal in self.partitions
+            ),
+        )
+        for start, heal in self.partitions:
+            if start < 0 or (heal is not None and heal <= start):
+                raise ValueError(
+                    f"partition interval [{start}, {heal}) is ill-formed"
+                )
+
+    @property
+    def faulty(self) -> bool:
+        """True when this link deviates from a perfect link at all."""
+        return bool(
+            self.loss or self.dup or self.delay or self.reorder
+            or self.partitions
+        )
+
+    def partitioned_at(self, clock: int) -> bool:
+        """Is the link down at fabric time ``clock``?"""
+        for start, heal in self.partitions:
+            if clock >= start and (heal is None or clock < heal):
+                return True
+        return False
+
+    def heal_after(self, clock: int) -> int | None:
+        """The heal time of the interval covering ``clock`` (None = never)."""
+        for start, heal in self.partitions:
+            if clock >= start and (heal is None or clock < heal):
+                return heal
+        return clock
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "loss": self.loss,
+            "dup": self.dup,
+            "delay": self.delay,
+            "reorder": self.reorder,
+            "partitions": [list(iv) for iv in self.partitions],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "LinkFaultSpec":
+        return cls(
+            loss=float(data.get("loss", 0.0)),
+            dup=float(data.get("dup", 0.0)),
+            delay=int(data.get("delay", 0)),
+            reorder=float(data.get("reorder", 0.0)),
+            partitions=tuple(
+                (int(iv[0]), None if iv[1] is None else int(iv[1]))
+                for iv in data.get("partitions", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class LinkFaultPlan:
+    """Fault specs for every directed link, plus the fabric seed.
+
+    ``default`` applies to every link without an explicit entry in
+    ``links``.  ``seed`` roots the per-link RNG streams: each link draws
+    from ``default_rng([seed, src, dst])``, so executions are
+    bit-reproducible per seed and independent of delivery interleaving
+    across links.
+    """
+
+    default: LinkFaultSpec = LinkFaultSpec()
+    links: dict[tuple[int, int], LinkFaultSpec] = field(default_factory=dict)
+    seed: int = 0
+
+    def spec(self, src: int, dst: int) -> LinkFaultSpec:
+        return self.links.get((src, dst), self.default)
+
+    @property
+    def faulty(self) -> bool:
+        return self.default.faulty or any(
+            spec.faulty for spec in self.links.values()
+        )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "default": self.default.to_json_dict(),
+            "links": [
+                [src, dst, spec.to_json_dict()]
+                for (src, dst), spec in sorted(self.links.items())
+            ],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "LinkFaultPlan":
+        return cls(
+            default=LinkFaultSpec.from_json_dict(data["default"]),
+            links={
+                (int(src), int(dst)): LinkFaultSpec.from_json_dict(spec)
+                for src, dst, spec in data.get("links", ())
+            },
+            seed=int(data.get("seed", 0)),
+        )
+
+    @staticmethod
+    def uniform(
+        loss: float = 0.0,
+        dup: float = 0.0,
+        delay: int = 0,
+        reorder: float = 0.0,
+        *,
+        seed: int = 0,
+    ) -> "LinkFaultPlan":
+        """Same lossy behaviour on every link."""
+        return LinkFaultPlan(
+            default=LinkFaultSpec(
+                loss=loss, dup=dup, delay=delay, reorder=reorder
+            ),
+            seed=seed,
+        )
+
+    @staticmethod
+    def isolate(
+        pids: Iterable[int],
+        n: int,
+        start: int,
+        heal: int | None,
+        *,
+        base: LinkFaultSpec | None = None,
+        seed: int = 0,
+    ) -> "LinkFaultPlan":
+        """Partition ``pids`` from the rest of the system over [start, heal).
+
+        Every link crossing the cut (in either direction) carries the
+        partition interval on top of ``base`` (the behaviour of all
+        links outside the interval, default perfect).  ``heal=None``
+        partitions forever — the documented non-termination probe.
+        """
+        isolated = frozenset(int(p) for p in pids)
+        if not isolated:
+            raise ValueError("isolate() needs at least one pid")
+        out_of_range = sorted(p for p in isolated if not 0 <= p < n)
+        if out_of_range:
+            raise ValueError(f"isolated pids {out_of_range} outside 0..{n - 1}")
+        base = base if base is not None else LinkFaultSpec()
+        cut = LinkFaultSpec(
+            loss=base.loss,
+            dup=base.dup,
+            delay=base.delay,
+            reorder=base.reorder,
+            partitions=base.partitions + ((start, heal),),
+        )
+        links = {
+            (src, dst): cut
+            for src in range(n)
+            for dst in range(n)
+            if src != dst and ((src in isolated) != (dst in isolated))
+        }
+        return LinkFaultPlan(default=base, links=links, seed=seed)

@@ -50,6 +50,12 @@ class SimulationReport:
     crashed: list[int]
     undecided_alive: list[int]
     perf_counters: dict[str, int] = field(default_factory=dict)
+    #: Application-level delivery sequence as ``(src, dst)`` pairs.
+    #: Populated only by transport runs (:mod:`repro.runtime.transport`),
+    #: where it is the reliable-network schedule the lossy execution is
+    #: equivalent to; the structural-network path leaves it empty (there
+    #: the scheduler's own decisions are that schedule).
+    app_deliveries: tuple[tuple[int, int], ...] = ()
 
 
 def run_simulation(
@@ -60,6 +66,8 @@ def run_simulation(
     max_steps: int | None = None,
     require_all_fault_free_decide: bool = True,
     on_deliver: Callable[[], None] | None = None,
+    link_faults=None,
+    reliable_transport: bool = True,
 ) -> SimulationReport:
     """Drive the cores to quiescence under the given adversary.
 
@@ -75,7 +83,28 @@ def run_simulation(
     initial fan-out): the chaos engine's streaming invariant checker
     hooks in here and aborts the run by raising on the first violation,
     instead of paying for the whole execution and checking post-hoc.
+
+    ``link_faults`` (a :class:`~repro.runtime.faults.LinkFaultPlan`)
+    switches from the structural reliable network to the lossy fabric +
+    reliable transport of :mod:`repro.runtime.transport`; with
+    ``reliable_transport=False`` the recovery layer is bypassed and the
+    delivery-boundary oracle is expected to trip.  ``link_faults=None``
+    with the default ``reliable_transport=True`` is the historical path,
+    bit-for-bit unchanged.
     """
+    if link_faults is not None or not reliable_transport:
+        from .transport import run_transport_simulation
+
+        return run_transport_simulation(
+            cores,
+            fault_plan,
+            scheduler,
+            link_faults=link_faults,
+            reliable_transport=reliable_transport,
+            max_steps=max_steps,
+            require_all_fault_free_decide=require_all_fault_free_decide,
+            on_deliver=on_deliver,
+        )
     n = len(cores)
     plan = (fault_plan or FaultPlan.none()).validate(n)
     sched = scheduler or default_scheduler()

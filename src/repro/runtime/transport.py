@@ -1,0 +1,580 @@
+"""Lossy network fabric + reliable-delivery transport.
+
+The paper's system model (Section 1) *postulates* reliable FIFO
+exactly-once channels.  :mod:`repro.runtime.network` enforces that
+postulate structurally; this module **earns** it instead, the way a real
+deployment would, by layering:
+
+1. :class:`LossyFabric` — a fair-lossy physical layer.  Per directed
+   link, frames are dropped, duplicated, delayed (and thereby
+   reordered), or blackholed during partition intervals, according to a
+   :class:`~repro.runtime.faults.LinkFaultSpec` and a deterministic
+   per-link RNG stream (``default_rng([seed, src, dst])``), so every
+   execution is bit-reproducible per seed.
+
+2. :class:`TransportNetwork` — a reliable-delivery transport over the
+   fabric: per-channel sequence numbers, cumulative acks, retransmission
+   with seeded exponential backoff (reusing the experiment engine's
+   :func:`~repro.analysis.engine.retry_delay` schedule), out-of-order
+   reassembly, and duplicate suppression.  It duck-types
+   :class:`~repro.runtime.network.Network` for
+   :class:`~repro.runtime.process.ProcessShell`, so Algorithm CC and
+   every baseline run *unmodified* on top.
+
+The reliable-channel contract is still **checked**, not assumed: an
+independent per-channel sequence counter at the application delivery
+boundary raises :class:`~repro.runtime.channel.ChannelError` if the
+transport ever hands the application an out-of-order or duplicate
+payload — the end-to-end oracle.  Running with
+``reliable_transport=False`` (raw mode) bypasses the recovery machinery
+while keeping the oracle, which is how the chaos suite demonstrates that
+the transport — not luck — restores the model.
+
+Time: the simulator has no clock, only delivery order; the fabric adds
+the minimal notion the transport needs — a *fabric clock* that advances
+by one per frame delivery and jumps forward over idle periods to the
+next retransmission timer or partition heal.  Delays, backoff, and
+partition intervals are all measured in these steps.
+
+A link partitioned forever (``heal=None``) makes retransmission futile;
+instead of hanging, the run aborts with :class:`TransportBudgetError`
+(a :class:`~repro.runtime.simulator.SimulationError`) once the fabric
+clock exceeds the delivery budget — exponential backoff reaches any
+budget in logarithmically many retries, so the abort is prompt.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..geometry.cache import PERF
+from .channel import ChannelError
+from .faults import FaultPlan, LinkFaultPlan, LinkFaultSpec
+from .messages import Payload
+from .process import ProcessShell, ProtocolCore
+from .scheduler import Scheduler, default_scheduler
+from .simulator import SimulationError, SimulationReport
+
+#: Frame kinds on the wire.
+DATA = "data"
+ACK = "ack"
+
+#: Default fabric-clock budget.  Legal runs use O(messages) clock steps;
+#: a forever-partitioned link doubles its backoff every retry, so it
+#: burns through this budget after ~20 retransmissions per frame — the
+#: graceful-degradation abort is prompt, not a hang.
+DEFAULT_CLOCK_BUDGET = 1 << 24
+
+#: Default retransmission-timeout base, in fabric clock steps.
+DEFAULT_RTO_BASE = 8.0
+
+
+class TransportBudgetError(SimulationError):
+    """The fabric clock exhausted its delivery budget.
+
+    Raised instead of hanging when reliable delivery is impossible —
+    in practice, when a link is partitioned forever.  Classified by the
+    chaos engine as a (expected, for the partition-forever profile)
+    termination finding.
+    """
+
+
+@dataclass
+class Frame:
+    """One transport-layer datagram in flight on a directed link.
+
+    ``seq`` is the channel sequence number for DATA frames and the
+    cumulative acknowledgement (next expected sequence) for ACK frames.
+    ``release`` is the fabric clock step at which the frame becomes
+    deliverable; ``order`` breaks release ties by transmission order.
+    Schedulers see frames exactly like envelopes (``src``/``dst``).
+    """
+
+    kind: str
+    src: int
+    dst: int
+    seq: int
+    send_round: int = 0
+    payload: Payload | None = None
+    attempt: int = 0
+    release: int = field(default=0, compare=False)
+    order: int = field(default=0, compare=False)
+
+
+class LossyFabric:
+    """The fair-lossy physical layer: per-link drop/dup/delay/partition.
+
+    Each directed link keeps its in-flight frames sorted by
+    ``(release, order)`` and exposes only the earliest-deliverable frame
+    per link, so scheduler decisions stay identifiable by ``(src, dst)``
+    — the property :class:`~repro.runtime.scheduler.ScheduleRecorder`
+    bundles and the shrinker rely on.  All randomness comes from one
+    deterministic RNG stream per link, seeded from
+    ``(plan.seed, src, dst)``: fault rolls depend only on the order of
+    transmissions *on that link*, never on cross-link interleaving.
+    """
+
+    def __init__(self, n: int, plan: LinkFaultPlan):
+        if n < 1:
+            raise ValueError("fabric needs at least one process")
+        self.n = n
+        self.plan = plan
+        self.clock = 0
+        self._queues: dict[tuple[int, int], list[Frame]] = {}
+        self._rngs: dict[tuple[int, int], object] = {}
+        self._order = 0
+        # Finite heal times of every partition interval on every link,
+        # sorted; crossing one while advancing the clock counts a heal.
+        heals: list[int] = []
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                for _start, heal in plan.spec(src, dst).partitions:
+                    if heal is not None:
+                        heals.append(heal)
+        self._pending_heals = sorted(heals, reverse=True)
+
+    def _rng(self, src: int, dst: int):
+        key = (src, dst)
+        rng = self._rngs.get(key)
+        if rng is None:
+            import numpy as np
+
+            rng = np.random.default_rng([self.plan.seed, src, dst])
+            self._rngs[key] = rng
+        return rng
+
+    def send(self, frame: Frame) -> bool:
+        """Transmit a frame; returns True if anything was enqueued.
+
+        Fault rolls happen in a fixed order (loss, dup, then per-copy
+        delay and reorder) so the per-link RNG stream is consumed
+        identically across replays.
+        """
+        spec = self.plan.spec(frame.src, frame.dst)
+        if spec.partitioned_at(self.clock):
+            PERF.link_drops += 1
+            return False
+        if not spec.faulty:
+            frame.release = self.clock
+            self._enqueue(frame)
+            return True
+        rng = self._rng(frame.src, frame.dst)
+        if spec.loss and rng.random() < spec.loss:
+            PERF.link_drops += 1
+            return False
+        copies = 1
+        if spec.dup and rng.random() < spec.dup:
+            copies = 2
+            PERF.link_dups += 1
+        for copy_index in range(copies):
+            fr = frame if copy_index == 0 else replace(frame)
+            fr.release = self.clock
+            if spec.delay:
+                fr.release += int(rng.integers(0, spec.delay + 1))
+            if spec.reorder and rng.random() < spec.reorder:
+                fr.release += int(rng.integers(1, 3 * (spec.delay + 1) + 1))
+            self._enqueue(fr)
+        return True
+
+    def _enqueue(self, frame: Frame) -> None:
+        self._order += 1
+        frame.order = self._order
+        queue = self._queues.setdefault((frame.src, frame.dst), [])
+        insort(queue, frame, key=lambda f: (f.release, f.order))
+
+    def ready_frames(self) -> list[Frame]:
+        """Deliverable link heads, in deterministic ``(src, dst)`` order."""
+        out = []
+        for key in sorted(self._queues):
+            queue = self._queues[key]
+            if not queue:
+                continue
+            if self.plan.spec(*key).partitioned_at(self.clock):
+                continue
+            head = queue[0]
+            if head.release <= self.clock:
+                out.append(head)
+        return out
+
+    def deliver(self, frame: Frame) -> None:
+        """Remove a chosen head from its link and advance the clock."""
+        queue = self._queues.get((frame.src, frame.dst))
+        if not queue or queue[0] is not frame:
+            raise ChannelError("scheduler chose a non-head frame")
+        queue.pop(0)
+        self.advance_to(self.clock + 1)
+
+    def advance_to(self, clock: int) -> None:
+        """Move the fabric clock forward, recording partition heals."""
+        while self._pending_heals and self._pending_heals[-1] <= clock:
+            self._pending_heals.pop()
+            PERF.partition_heals += 1
+        self.clock = clock
+
+    def _available_from(self, spec: LinkFaultSpec, t0: int) -> int | None:
+        """Earliest clock >= t0 at which the link carries frames (None = never)."""
+        t = t0
+        for _ in range(len(spec.partitions) + 1):
+            if not spec.partitioned_at(t):
+                return t
+            heal = spec.heal_after(t)
+            if heal is None:
+                return None
+            t = heal
+        return t
+
+    def next_release(self) -> int | None:
+        """Earliest future clock at which any queued frame is deliverable.
+
+        Returns None when nothing queued can ever be delivered (empty
+        fabric, or only frames stuck behind never-healing partitions).
+        """
+        best: int | None = None
+        for key, queue in self._queues.items():
+            if not queue:
+                continue
+            available = self._available_from(self.plan.spec(*key), self.clock)
+            if available is None:
+                continue
+            candidate = max(queue[0].release, available)
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    @property
+    def in_flight(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+@dataclass
+class _Pending:
+    """Sender-side retransmission state for one unacknowledged frame."""
+
+    frame: Frame
+    attempt: int
+    next_retry: int
+
+
+class TransportNetwork:
+    """Reliable-delivery transport over a :class:`LossyFabric`.
+
+    Duck-types :class:`~repro.runtime.network.Network` for process
+    shells (``n`` + ``send``).  Transport endpoints belong to the
+    *channel infrastructure*, not the process: a crashed process stops
+    sending new application messages, but frames already handed to the
+    transport keep being retransmitted and acknowledged — exactly the
+    reliable-channel property ("what was sent before the crash stays
+    deliverable") the structural :class:`Network` provides.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        link_faults: LinkFaultPlan | None = None,
+        *,
+        reliable: bool = True,
+        rto_base: float = DEFAULT_RTO_BASE,
+        clock_budget: int = DEFAULT_CLOCK_BUDGET,
+    ):
+        self.n = n
+        self.fabric = LossyFabric(n, link_faults or LinkFaultPlan())
+        self.reliable = reliable
+        self.rto_base = rto_base
+        self.clock_budget = clock_budget
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self._send_seq: dict[tuple[int, int], int] = {}
+        self._unacked: dict[tuple[int, int], dict[int, _Pending]] = {}
+        self._expected: dict[tuple[int, int], int] = {}
+        self._stash: dict[tuple[int, int], dict[int, Frame]] = {}
+        # Independent boundary counters — the end-to-end ChannelError
+        # oracle.  Deliberately not shared with ``_expected``: a bug in
+        # the reassembly logic must trip the oracle, so the oracle may
+        # not reuse the reassembly state.
+        self._boundary_seq: dict[tuple[int, int], int] = {}
+
+    # -- Network duck-type -------------------------------------------------
+    def send(self, src: int, dst: int, payload: Payload, send_round: int) -> None:
+        if src == dst:
+            raise ChannelError("self-messages are handled locally, not via network")
+        link = (src, dst)
+        seq = self._send_seq.get(link, 0)
+        self._send_seq[link] = seq + 1
+        frame = Frame(
+            kind=DATA,
+            src=src,
+            dst=dst,
+            seq=seq,
+            send_round=send_round,
+            payload=payload,
+        )
+        self.messages_sent += 1
+        if self.reliable:
+            self._unacked.setdefault(link, {})[seq] = _Pending(
+                frame=frame,
+                attempt=1,
+                next_retry=self.fabric.clock + self._rto(link, seq, 1),
+            )
+        self.fabric.send(replace(frame))
+
+    @property
+    def undelivered(self) -> int:
+        return self.messages_sent - self.messages_delivered
+
+    # -- receive path ------------------------------------------------------
+    def on_frame(self, frame: Frame) -> list[Frame]:
+        """Process one fabric delivery; returns in-order app-ready frames."""
+        if frame.kind == ACK:
+            self._on_ack(frame)
+            return []
+        link = (frame.src, frame.dst)
+        if not self.reliable:
+            # Raw mode: straight to the delivery boundary — loss shows
+            # up as a sequence gap, duplication as a replay; the oracle
+            # in deliver_to_app() catches both.
+            return [frame]
+        expected = self._expected.get(link, 0)
+        if frame.seq < expected:
+            PERF.dup_drops += 1
+            self._send_ack(link)
+            return []
+        if frame.seq > expected:
+            stash = self._stash.setdefault(link, {})
+            if frame.seq in stash:
+                PERF.dup_drops += 1
+            else:
+                stash[frame.seq] = frame
+            self._send_ack(link)
+            return []
+        out = [frame]
+        expected += 1
+        stash = self._stash.get(link, {})
+        while expected in stash:
+            out.append(stash.pop(expected))
+            expected += 1
+        self._expected[link] = expected
+        self._send_ack(link)
+        return out
+
+    def deliver_to_app(self, frame: Frame) -> None:
+        """The delivery boundary: check the reliable-channel contract.
+
+        An independent per-channel counter re-verifies FIFO exactly-once
+        before the payload reaches the process shell; any transport bug
+        (or raw mode over a faulty link) surfaces here as a
+        :class:`ChannelError`, exactly as it would on the structural
+        :class:`~repro.runtime.network.Network`.
+        """
+        link = (frame.src, frame.dst)
+        expected = self._boundary_seq.get(link, 0)
+        if frame.seq != expected:
+            raise ChannelError(
+                f"channel {frame.src}->{frame.dst}: transport handed the "
+                f"application seq {frame.seq}, expected {expected} "
+                f"(reliable FIFO exactly-once contract violated)"
+            )
+        self._boundary_seq[link] = expected + 1
+        self.messages_delivered += 1
+
+    def _on_ack(self, frame: Frame) -> None:
+        # An ack travelling dst -> src acknowledges the data link
+        # src -> dst; ``seq`` is cumulative (next expected), so pruning
+        # is idempotent and duplicate/stale acks are harmless.
+        data_link = (frame.dst, frame.src)
+        pending = self._unacked.get(data_link)
+        if not pending:
+            return
+        for seq in [s for s in pending if s < frame.seq]:
+            del pending[seq]
+
+    def _send_ack(self, link: tuple[int, int]) -> None:
+        src, dst = link
+        PERF.ack_messages += 1
+        self.fabric.send(
+            Frame(kind=ACK, src=dst, dst=src, seq=self._expected.get(link, 0))
+        )
+
+    # -- timers ------------------------------------------------------------
+    def _rto(self, link: tuple[int, int], seq: int, attempt: int) -> int:
+        """Retransmission timeout (fabric steps) before retry ``attempt + 1``.
+
+        Reuses the experiment engine's deterministic seeded backoff
+        schedule (exponential with multiplicative jitter, keyed by
+        channel and sequence number).  The base adapts to the current
+        fabric queue depth: the clock advances one step per frame
+        delivery, so a frame legitimately waits ~in_flight steps before
+        its turn — a fixed base would retransmit healthy traffic.  The
+        adaptation stays deterministic: ``in_flight`` is itself a pure
+        function of the execution prefix.
+        """
+        from ..analysis.engine import retry_delay
+
+        base = self.rto_base + 2.0 * self.fabric.in_flight
+        delay = retry_delay(f"{link[0]}->{link[1]}#{seq}", attempt, base)
+        return max(1, int(math.ceil(delay)))
+
+    def pump(self) -> None:
+        """Fire expired retransmission timers; enforce the clock budget."""
+        clock = self.fabric.clock
+        if clock > self.clock_budget:
+            raise TransportBudgetError(
+                f"fabric clock {clock} exceeded the delivery budget "
+                f"{self.clock_budget} with {self.total_unacked} frame(s) "
+                "still unacknowledged — reliable delivery is impossible "
+                "(a never-healing partition?); aborting instead of hanging"
+            )
+        if not self.reliable:
+            return
+        for link, pending in self._unacked.items():
+            for seq, entry in pending.items():
+                if entry.next_retry <= clock:
+                    entry.attempt += 1
+                    PERF.retransmissions += 1
+                    self.fabric.send(replace(entry.frame, attempt=entry.attempt))
+                    entry.next_retry = clock + self._rto(link, seq, entry.attempt)
+
+    @property
+    def total_unacked(self) -> int:
+        return sum(len(p) for p in self._unacked.values())
+
+    def has_work(self) -> bool:
+        """Anything left that can (or keeps trying to) make progress?"""
+        if self.fabric.next_release() is not None:
+            return True
+        return self.reliable and self.total_unacked > 0
+
+    def advance_idle(self) -> None:
+        """Nothing deliverable now: jump the clock to the next event."""
+        candidates = []
+        release = self.fabric.next_release()
+        if release is not None:
+            candidates.append(release)
+        if self.reliable:
+            for pending in self._unacked.values():
+                for entry in pending.values():
+                    candidates.append(entry.next_retry)
+        if not candidates:
+            raise SimulationError("advance_idle() called with no pending work")
+        self.fabric.advance_to(max(min(candidates), self.fabric.clock + 1))
+        self.pump()
+
+
+def run_transport_simulation(
+    cores: list[ProtocolCore],
+    fault_plan: FaultPlan | None = None,
+    scheduler: Scheduler | None = None,
+    *,
+    link_faults: LinkFaultPlan | None = None,
+    reliable_transport: bool = True,
+    max_steps: int | None = None,
+    clock_budget: int = DEFAULT_CLOCK_BUDGET,
+    rto_base: float = DEFAULT_RTO_BASE,
+    require_all_fault_free_decide: bool = True,
+    on_deliver: Callable[[], None] | None = None,
+) -> SimulationReport:
+    """Drive the cores over a lossy fabric; mirror of ``run_simulation``.
+
+    The scheduler now adversarially orders *frames* (data,
+    retransmissions, acks) instead of application envelopes; per-link
+    FIFO no longer holds on the wire — the transport restores it at the
+    delivery boundary.  The report's ``app_deliveries`` records the
+    application-level delivery sequence, which (by construction of the
+    reliable layer) is a legal schedule of the structural reliable
+    network — the transport-equivalence property suite replays it there
+    and demands identical decisions.
+    """
+    n = len(cores)
+    plan = (fault_plan or FaultPlan.none()).validate(n)
+    sched = scheduler or default_scheduler()
+    transport = TransportNetwork(
+        n,
+        link_faults,
+        reliable=reliable_transport,
+        rto_base=rto_base,
+        clock_budget=clock_budget,
+    )
+    shells = [
+        ProcessShell(core, transport, crash_spec=plan.crash_spec(core.pid))
+        for core in cores
+    ]
+    if max_steps is None:
+        # The simulator's quiescence bound, widened for transport
+        # overhead: acks roughly double the frame count and loss/dup
+        # multiply it by a small constant.
+        max_steps = 8 * (2000 * n * n * n + 100_000)
+
+    perf_before = PERF.snapshot()
+    alive = {shell.pid for shell in shells}
+    app_deliveries: list[tuple[int, int]] = []
+
+    def note_crash(shell: ProcessShell) -> None:
+        if shell.crashed and shell.pid in alive:
+            alive.discard(shell.pid)
+
+    for shell in shells:
+        shell.start()
+    for shell in shells:
+        note_crash(shell)
+    if on_deliver is not None:
+        on_deliver()
+
+    steps = 0
+    while True:
+        frames = transport.fabric.ready_frames()
+        if not frames:
+            if not transport.has_work():
+                break
+            transport.advance_idle()
+            continue
+        steps += 1
+        if steps > max_steps:
+            raise SimulationError(
+                f"no quiescence after {max_steps} frame deliveries "
+                f"(in flight={transport.fabric.in_flight}, "
+                f"sent={transport.messages_sent})"
+            )
+        frame = frames[sched.choose(frames)]
+        transport.fabric.deliver(frame)
+        for env in transport.on_frame(frame):
+            receiver = shells[env.dst]
+            if receiver.crashed:
+                # Old-network semantics: messages addressed to a crashed
+                # process stay undelivered at the application layer (the
+                # transport still acknowledged the frame).
+                continue
+            transport.deliver_to_app(env)
+            app_deliveries.append((env.src, env.dst))
+            receiver.receive(env.payload, env.src)
+            note_crash(receiver)
+            if on_deliver is not None:
+                on_deliver()
+        transport.pump()
+
+    decided = [s.pid for s in shells if s.done]
+    crashed = [s.pid for s in shells if s.crashed]
+    undecided_alive = [s.pid for s in shells if s.alive and not s.done]
+    if require_all_fault_free_decide and undecided_alive:
+        raise SimulationError(
+            f"non-crashed processes ended undecided: {undecided_alive}"
+        )
+    report = SimulationReport(
+        delivery_steps=steps,
+        messages_sent=transport.messages_sent,
+        messages_delivered=transport.messages_delivered,
+        decided=decided,
+        crashed=crashed,
+        undecided_alive=undecided_alive,
+        perf_counters=PERF.diff(perf_before),
+        app_deliveries=tuple(app_deliveries),
+    )
+    for shell in shells:
+        trace = getattr(shell.core, "trace", None)
+        if trace is not None:
+            trace.sends_in_round = dict(shell.protocol_sends)
+            trace.crash_fired_round = shell.crash_fired_round
+    return report

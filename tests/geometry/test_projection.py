@@ -104,6 +104,34 @@ class TestProjectOntoHull:
         np.testing.assert_allclose(proj, [1.0, 1.0])
         assert lam == pytest.approx([1.0])
 
+    def test_active_set_does_not_cycle(self):
+        # Regression: on this hull the active-set refinement used to cycle
+        # {1} -> {1,3} -> {2} -> {0,2} -> {1} (clamping negative equality
+        # coefficients instead of taking a Wolfe line-search step breaks
+        # objective monotonicity) and returned distance 2.28 for a point
+        # 0.386 from the hull.
+        verts = np.array(
+            [[-3.0, 7.5], [-2.0, 0.0], [1.0, -2.0], [21.0, -15.0], [0.0, 5.5]]
+        )
+        q = np.array([-2.16103239, -0.35684282])
+        proj, lam = project_onto_hull(q, verts)
+        assert np.linalg.norm(proj - q) == pytest.approx(0.3862358717, abs=1e-8)
+        np.testing.assert_allclose(lam @ verts, proj, atol=1e-10)
+        assert lam.min() >= -1e-12
+
+    def test_translated_hull_distance_is_shift_norm(self):
+        # d_H(P, P + v) == ||v||; each vertex of the shifted hull must
+        # project across, not get stuck at a far KKT-violating point.
+        verts = np.array(
+            [[-3.0, 7.5], [-2.0, 0.0], [1.0, -2.0], [21.0, -15.0], [0.0, 5.5]]
+        )
+        shift = np.array([-0.16103239, -0.35684282])
+        worst = max(
+            float(np.linalg.norm(project_onto_hull(v, verts)[0] - v))
+            for v in verts + shift
+        )
+        assert worst == pytest.approx(float(np.linalg.norm(shift)), abs=1e-8)
+
     def test_empty_raises(self):
         with pytest.raises(EmptyPolytopeError):
             project_onto_hull([0.0], np.zeros((0, 1)))

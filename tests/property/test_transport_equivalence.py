@@ -1,0 +1,158 @@
+"""Transport equivalence: lossy executions are reliable executions.
+
+The load-bearing claim of the transport layer is *indistinguishability*:
+Algorithm CC running over the lossy fabric + reliable transport behaves
+exactly as if it ran over the structural reliable network under *some*
+adversarial schedule.  The proof technique is constructive — the
+transport run records its application-level delivery sequence
+(``report.app_deliveries``), which by the reliable layer's FIFO
+exactly-once guarantee is a legal schedule of the structural network;
+replaying it there via :class:`~repro.runtime.scheduler.ReplayScheduler`
+must reproduce the decisions *bit for bit* (exact float equality, not
+approximate agreement).
+
+A second family of properties pins determinism: the same (inputs, fault
+plan, link plan, scheduler seed) triple yields byte-identical delivery
+sequences and decisions across repeated runs, which is what makes repro
+bundles and the shrinker work over the transport.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import run_convex_hull_consensus
+from repro.runtime.faults import FaultPlan, LinkFaultPlan, LinkFaultSpec
+from repro.runtime.scheduler import (
+    RandomScheduler,
+    ReplayScheduler,
+    ScheduleRecorder,
+)
+
+SEED_FAMILY = list(range(8))
+
+
+def _inputs(n, d, seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, d))
+
+
+def _link_plan(seed):
+    """A seeded lossy plan; every other seed adds a healing partition."""
+    rng = np.random.default_rng([seed, 0xFAB])
+    base = LinkFaultSpec(
+        loss=float(0.05 + 0.25 * rng.random()),
+        dup=float(0.2 * rng.random()),
+        delay=int(rng.integers(0, 4)),
+        reorder=float(0.4 * rng.random()),
+    )
+    if seed % 2 == 0:
+        start = int(rng.integers(0, 60))
+        width = int(rng.integers(40, 300))
+        return LinkFaultPlan.isolate(
+            [int(rng.integers(0, 5))],
+            5,
+            start,
+            start + width,
+            base=base,
+            seed=seed,
+        )
+    return LinkFaultPlan(default=base, seed=seed)
+
+
+def _fault_plan(seed):
+    """Every third seed crashes one process mid-broadcast."""
+    if seed % 3 == 0:
+        return FaultPlan.crash_at({4: (seed % 2, seed % 5)})
+    return FaultPlan.none()
+
+
+class TestLossyEquivalence:
+    @pytest.mark.parametrize("seed", SEED_FAMILY)
+    def test_lossy_run_equals_some_reliable_run(self, seed):
+        inputs = _inputs(5, 2, seed)
+        plan = _fault_plan(seed)
+
+        lossy = run_convex_hull_consensus(
+            inputs,
+            1,
+            0.2,
+            fault_plan=plan,
+            scheduler=RandomScheduler(seed=seed),
+            link_faults=_link_plan(seed),
+        )
+        schedule = lossy.report.app_deliveries
+        assert schedule, "transport run recorded no app deliveries"
+
+        reliable = run_convex_hull_consensus(
+            inputs,
+            1,
+            0.2,
+            fault_plan=plan,
+            scheduler=ReplayScheduler(decisions=tuple(schedule)),
+        )
+        # The replay consumed exactly the recorded schedule: the lossy
+        # app-delivery sequence IS a legal reliable-network execution.
+        assert reliable.report.delivery_steps == len(schedule)
+
+        # Decisions agree bit for bit, not just within eps.
+        assert set(lossy.outputs) == set(reliable.outputs)
+        for pid, poly in lossy.outputs.items():
+            np.testing.assert_array_equal(
+                poly.vertices, reliable.outputs[pid].vertices
+            )
+
+    @pytest.mark.parametrize("seed", [0, 3, 6])
+    def test_transport_run_is_replay_stable(self, seed):
+        """Recording the *frame* schedule and replaying it over the same
+        link plan reproduces the execution byte for byte — the property
+        chaos repro bundles rely on."""
+        inputs = _inputs(5, 2, seed)
+        plan = _fault_plan(seed)
+        link_plan = _link_plan(seed)
+
+        recorder = ScheduleRecorder(inner=RandomScheduler(seed=seed))
+        first = run_convex_hull_consensus(
+            inputs,
+            1,
+            0.2,
+            fault_plan=plan,
+            scheduler=recorder,
+            link_faults=link_plan,
+        )
+        replay = run_convex_hull_consensus(
+            inputs,
+            1,
+            0.2,
+            fault_plan=plan,
+            scheduler=ReplayScheduler(decisions=tuple(recorder.decisions)),
+            link_faults=link_plan,
+        )
+        assert first.report.delivery_steps == replay.report.delivery_steps
+        assert first.report.app_deliveries == replay.report.app_deliveries
+        for pid, poly in first.outputs.items():
+            np.testing.assert_array_equal(
+                poly.vertices, replay.outputs[pid].vertices
+            )
+
+    def test_identical_seeds_identical_runs(self):
+        inputs = _inputs(5, 2, 11)
+        link_plan = LinkFaultPlan.uniform(
+            loss=0.2, dup=0.15, delay=2, reorder=0.2, seed=11
+        )
+
+        def once():
+            return run_convex_hull_consensus(
+                inputs,
+                1,
+                0.2,
+                scheduler=RandomScheduler(seed=7),
+                link_faults=link_plan,
+            )
+
+        a, b = once(), once()
+        assert a.report.app_deliveries == b.report.app_deliveries
+        assert a.report.delivery_steps == b.report.delivery_steps
+        for pid, poly in a.outputs.items():
+            np.testing.assert_array_equal(
+                poly.vertices, b.outputs[pid].vertices
+            )

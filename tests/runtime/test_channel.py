@@ -50,3 +50,35 @@ class TestChannel:
         env = ch.enqueue(_payload(), send_round=5)
         assert env.send_round == 5
         assert env.src == 2 and env.dst == 3
+
+    def test_sequence_violation_leaves_channel_inspectable(self):
+        # Peek-verify-pop: a failed delivery must not mutate the queue,
+        # so post-mortem tooling sees the offending head in place.
+        ch = Channel(src=0, dst=1)
+        ch.enqueue(_payload(0), send_round=0)
+        forged = ch.enqueue(_payload(9), send_round=0)  # seq 1
+        ch._queue.remove(forged)
+        ch._queue.appendleft(forged)  # out-of-order head
+        depth_before = ch.depth
+        with pytest.raises(ChannelError):
+            ch.deliver_head()
+        assert ch.depth == depth_before
+        assert ch.head is forged
+        assert ch._next_deliver_seq == 0
+        # Restoring FIFO order makes the channel deliverable again.
+        ch._queue.remove(forged)
+        ch._queue.append(forged)
+        assert ch.deliver_head().seq == 0
+        assert ch.deliver_head() is forged
+
+    def test_non_head_delivery_raises_without_popping(self):
+        ch = Channel(src=0, dst=1)
+        ch.enqueue(_payload(0), send_round=0)
+        ch.deliver_head()
+        ch.enqueue(_payload(1), send_round=0)
+        ch.enqueue(_payload(2), send_round=0)
+        # Skip ahead: pretend seq 1 was already consumed.
+        ch._next_deliver_seq = 2
+        with pytest.raises(ChannelError):
+            ch.deliver_head()
+        assert ch.depth == 2 and ch.head.seq == 1

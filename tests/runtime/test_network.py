@@ -66,3 +66,39 @@ class TestNetwork:
     def test_needs_processes(self):
         with pytest.raises(ValueError):
             Network(0)
+
+    def test_duplicate_delivery_raises(self):
+        # Exactly-once: handing the same envelope to deliver() twice is a
+        # harness bug and must surface as ChannelError, not a silent redo.
+        net = Network(2)
+        net.send(0, 1, _payload(), send_round=0)
+        env = net.deliver(net.ready_heads()[0])
+        net.send(0, 1, _payload(1), send_round=0)
+        with pytest.raises(ChannelError):
+            net.deliver(env)
+        assert net.messages_delivered == 1
+
+    def test_mark_crashed_idempotent(self):
+        net = Network(3)
+        net.send(0, 1, _payload(), send_round=0)
+        net.send(0, 2, _payload(), send_round=0)
+        net.mark_crashed(1)
+        ready_after_first = [(e.src, e.dst) for e in net.ready_heads()]
+        net.mark_crashed(1)
+        assert [(e.src, e.dst) for e in net.ready_heads()] == ready_after_first
+        assert ready_after_first == [(0, 2)]
+        # Messages to the crashed process stay queued (reliability).
+        assert net.channel_depth(0, 1) == 1
+
+    def test_ready_heads_order_stable(self):
+        # The scheduler's candidate list is (src, dst)-lexicographic no
+        # matter the send order — the determinism seeded runs rely on.
+        net = Network(4)
+        for src, dst in [(3, 0), (1, 2), (0, 3), (2, 1), (0, 1)]:
+            net.send(src, dst, _payload(), send_round=0)
+        keys = [(e.src, e.dst) for e in net.ready_heads()]
+        assert keys == sorted(keys)
+        # Delivering one head keeps the rest in the same relative order.
+        net.deliver(net.ready_heads()[0])
+        keys_after = [(e.src, e.dst) for e in net.ready_heads()]
+        assert keys_after == [k for k in keys if k != (0, 1)]
