@@ -121,7 +121,17 @@ def bench_sweep_parallel_speedup():
         parallel_seconds=par.wall_seconds,
         speedup=speedup,
         counters=counters,
-        cache_hit_rate=cache_hit_rate(counters),
+        intra_worker_lru_hit_rate=cache_hit_rate(counters),
+        note=(
+            "intra_worker_lru_hit_rate sums per-worker LRU counters: it "
+            "measures redundancy collapse WITHIN each worker process and "
+            "says nothing about sharing BETWEEN workers (a rate of 1.0 is "
+            "consistent with every worker paying every cold miss itself). "
+            "Cross-worker sharing is the shared_cache_hits_foreign counter "
+            "/ shared_cache_hit_rate, measured with --cache-dir; see "
+            "BENCH_batch.json's multiworker_shared_cache entry and "
+            "docs/PERFORMANCE.md."
+        ),
         asserted=cpus >= workers,
     )
     if cpus < workers:

@@ -27,6 +27,7 @@ from .perf_counters import (
     counters_since,
     measure,
     reset_perf_counters,
+    shared_cache_hit_rate,
     snapshot,
 )
 from .engine import (
@@ -86,6 +87,7 @@ __all__ = [
     "reset_perf_counters",
     "run_grid",
     "run_sweep",
+    "shared_cache_hit_rate",
     "snapshot",
     "spark",
     "sweep_scenario",

@@ -414,6 +414,7 @@ def run_grid(
     retry_backoff: float = 0.0,
     start_method: str | None = None,
     on_result: Callable[[TaskResult], None] | None = None,
+    cache_dir: str | Path | None = None,
 ) -> EngineReport:
     """Run every cell of a grid, optionally sharded across processes.
 
@@ -442,6 +443,16 @@ def run_grid(
     on_result:
         Progress callback invoked in the parent for each freshly
         completed cell (in completion order).
+    cache_dir:
+        Directory of the shared cross-worker geometry cache
+        (:mod:`repro.geometry.shared_cache`); created if missing.  The
+        engine exports it as ``REPRO_CACHE_DIR`` for the duration of the
+        run, so every worker — forked or spawned — consults and feeds the
+        same content-addressed store, and sibling workers stop paying
+        cold misses for hulls another worker already computed.  Cached
+        entries are outputs of the same kernels on bit-identical inputs,
+        so result rows keep the determinism contract; only the
+        ``shared_cache_*`` counters (and wall time) change.
 
     Returns an :class:`EngineReport` whose ``results`` follow the grid
     order of ``tasks``.
@@ -478,22 +489,42 @@ def run_grid(
         if on_result is not None:
             on_result(result)
 
-    if workers <= 1 or len(pending) <= 1:
-        for spec in pending:
-            record(_execute_task(spec, retries, retry_backoff))
-    else:
-        context = multiprocessing.get_context(
-            start_method or default_start_method()
-        )
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)), mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(_execute_task, spec, retries, retry_backoff)
-                for spec in pending
-            ]
-            for future in as_completed(futures):
-                record(future.result())
+    # Export the shared-cache directory through the environment for the
+    # duration of the run: the geometry layer re-reads REPRO_CACHE_DIR on
+    # every lookup, so this configures the inline path and both fork- and
+    # spawn-started workers alike (workers inherit the parent environment
+    # at pool creation).
+    cache_env_prev: str | None = None
+    cache_env_set = False
+    if cache_dir is not None:
+        cache_path = Path(cache_dir)
+        cache_path.mkdir(parents=True, exist_ok=True)
+        cache_env_prev = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = str(cache_path)
+        cache_env_set = True
+    try:
+        if workers <= 1 or len(pending) <= 1:
+            for spec in pending:
+                record(_execute_task(spec, retries, retry_backoff))
+        else:
+            context = multiprocessing.get_context(
+                start_method or default_start_method()
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_task, spec, retries, retry_backoff)
+                    for spec in pending
+                ]
+                for future in as_completed(futures):
+                    record(future.result())
+    finally:
+        if cache_env_set:
+            if cache_env_prev is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = cache_env_prev
 
     wall_seconds = time.perf_counter() - start
     results = [

@@ -10,8 +10,15 @@ adds the measurement ergonomics the analysis and benchmark layers need:
   geometry work to a region of code,
 * :func:`measure` — time a callable and capture its counter deltas in one
   call (what the benchmark harness records into ``BENCH_*.json``),
-* :func:`cache_hit_rate` — the headline redundancy metric: the fraction
-  of memoizable geometry calls served from cache.
+* :func:`cache_hit_rate` — the *intra-worker* redundancy metric: the
+  fraction of memoizable geometry calls served from the in-memory LRU
+  layer of the process that made them,
+* :func:`shared_cache_hit_rate` — the *cross-worker* sharing metric: the
+  fraction of shared-disk-cache lookups answered by an entry some
+  **other** process wrote (``foreign`` hits).  The two are deliberately
+  separate: merged per-worker LRU counters near 1.0 say nothing about
+  sharing *between* workers (each worker may still pay every cold miss
+  itself), which is exactly what the foreign-hit rate measures.
 
 Typical use::
 
@@ -26,6 +33,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+from ..geometry.batch import batch_enabled, batch_override, set_batch_enabled
 from ..geometry.cache import (
     PERF,
     PerfCounters,
@@ -36,10 +44,17 @@ from ..geometry.cache import (
     clear_geometry_caches,
     set_cache_enabled,
 )
+from ..geometry.shared_cache import (
+    set_shared_cache_dir,
+    shared_cache_dir,
+    shared_cache_enabled,
+)
 
 __all__ = [
     "PERF",
     "PerfCounters",
+    "batch_enabled",
+    "batch_override",
     "cache_disabled",
     "cache_enabled",
     "cache_hit_rate",
@@ -50,7 +65,12 @@ __all__ = [
     "counters_since",
     "measure",
     "reset_perf_counters",
+    "set_batch_enabled",
     "set_cache_enabled",
+    "set_shared_cache_dir",
+    "shared_cache_dir",
+    "shared_cache_enabled",
+    "shared_cache_hit_rate",
     "snapshot",
 ]
 
@@ -84,16 +104,46 @@ def reset_perf_counters() -> None:
 
 
 def cache_hit_rate(counters: dict[str, int] | None = None) -> float:
-    """Fraction of memoizable geometry calls served from cache.
+    """Fraction of memoizable geometry calls served from the in-memory LRU.
 
     Aggregates hull, H-rep, subset-intersection and combination lookups.
     ``counters`` defaults to the global totals; pass a delta dict (from
     :func:`counters_since` or :func:`measure`) to scope the rate to one
     measured region.  Returns 0.0 when nothing was measured.
+
+    This is an **intra-worker** metric: the LRU caches are per-process,
+    so summing counters across engine workers yields the average
+    within-worker redundancy collapse — it does *not* measure sharing
+    between workers (a merged rate of 1.0 is consistent with every worker
+    paying every cold miss itself).  Cross-worker sharing is
+    :func:`shared_cache_hit_rate`.
     """
     counts = counters if counters is not None else counters_dict()
     lookups = sum(counts.get(total, 0) for total, _ in _HIT_PAIRS)
     hits = sum(counts.get(hit, 0) for _, hit in _HIT_PAIRS)
+    if lookups == 0:
+        return 0.0
+    return hits / lookups
+
+
+def shared_cache_hit_rate(
+    counters: dict[str, int] | None = None, *, foreign_only: bool = True
+) -> float:
+    """Fraction of shared-disk-cache lookups answered from disk.
+
+    With ``foreign_only=True`` (the default) only ``foreign`` hits —
+    entries written by *another* process or an earlier run — count as
+    hits, so the rate measures genuine cross-worker/cross-run sharing.
+    ``foreign_only=False`` also counts ``local`` hits (entries this very
+    process wrote and later re-read past its LRU).  Returns 0.0 when the
+    shared cache saw no lookups in the measured region.
+    """
+    counts = counters if counters is not None else counters_dict()
+    foreign = counts.get("shared_cache_hits_foreign", 0)
+    local = counts.get("shared_cache_hits_local", 0)
+    misses = counts.get("shared_cache_misses", 0)
+    hits = foreign if foreign_only else foreign + local
+    lookups = foreign + local + misses
     if lookups == 0:
         return 0.0
     return hits / lookups

@@ -338,6 +338,7 @@ def run_sweep(
     retry_backoff: float = 0.0,
     scenario_kwargs: Mapping | None = None,
     on_result: Callable[[TaskResult], None] | None = None,
+    cache_dir=None,
 ) -> tuple[SweepSummary, EngineReport]:
     """Seed-sweep a named scenario through the parallel engine.
 
@@ -359,5 +360,6 @@ def run_sweep(
         retries=retries,
         retry_backoff=retry_backoff,
         on_result=on_result,
+        cache_dir=cache_dir,
     )
     return _summary_from_engine(report), report

@@ -191,6 +191,7 @@ def run_campaign(
     shrink_violations: bool = True,
     bundle_dir: str | Path | None = None,
     on_result: Callable[..., None] | None = None,
+    cache_dir: str | Path | None = None,
 ) -> CampaignSummary:
     """Run a fuzz campaign through the parallel experiment engine.
 
@@ -216,6 +217,7 @@ def run_campaign(
         retries=retries,
         retry_backoff=retry_backoff,
         on_result=on_result,
+        cache_dir=cache_dir,
     )
     rows = report.rows()
     bundle_paths: list[str] = []

@@ -260,7 +260,7 @@ def cmd_sweep(args) -> int:
     if args.name not in scenario_mod.ALL_SCENARIOS:
         print(f"unknown scenario {args.name!r}; see list-scenarios", file=sys.stderr)
         return 2
-    from .analysis.perf_counters import cache_hit_rate
+    from .analysis.perf_counters import cache_hit_rate, shared_cache_hit_rate
     from .analysis.sweeps import SweepSummary, run_sweep
 
     run_dir = args.resume if args.resume is not None else args.run_dir
@@ -282,6 +282,7 @@ def cmd_sweep(args) -> int:
         retries=args.retries,
         retry_backoff=args.retry_backoff,
         on_result=on_result,
+        cache_dir=args.cache_dir,
     )
     print(
         render_table(
@@ -296,8 +297,18 @@ def cmd_sweep(args) -> int:
         f"reused={engine.reused} failed={engine.failed} "
         f"wall={engine.wall_seconds:.2f}s cell-time={engine.cell_seconds:.2f}s "
         f"hull_calls={counters.get('hull_calls', 0)} "
-        f"cache_hit_rate={cache_hit_rate(counters):.2f}"
+        f"lru_hit_rate={cache_hit_rate(counters):.2f}"
     )
+    if args.cache_dir is not None:
+        print(
+            "shared cache: "
+            f"foreign_hits={counters.get('shared_cache_hits_foreign', 0)} "
+            f"local_hits={counters.get('shared_cache_hits_local', 0)} "
+            f"misses={counters.get('shared_cache_misses', 0)} "
+            f"writes={counters.get('shared_cache_writes', 0)} "
+            f"errors={counters.get('shared_cache_errors', 0)} "
+            f"cross_worker_hit_rate={shared_cache_hit_rate(counters):.2f}"
+        )
     if engine.run_dir is not None:
         print(f"checkpoints: {engine.run_dir}")
     for row in summary.rows:
@@ -402,6 +413,7 @@ def cmd_fuzz(args) -> int:
         shrink_violations=args.shrink,
         bundle_dir=args.bundle_dir,
         on_result=on_result,
+        cache_dir=args.cache_dir,
     )
     print(summary.triage_table())
     engine = summary.report
@@ -560,6 +572,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts for a cell that raises (default 0)",
     )
     p_sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="shared cross-worker geometry cache directory (exported to "
+        "workers as REPRO_CACHE_DIR; created if missing)",
+    )
+    p_sweep.add_argument(
         "--retry-backoff",
         type=float,
         default=0.0,
@@ -631,6 +650,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="extra attempts for a case whose harness raises (default 0)",
+    )
+    p_fuzz.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="shared cross-worker geometry cache directory (exported to "
+        "workers as REPRO_CACHE_DIR; created if missing)",
     )
     p_fuzz.add_argument(
         "--retry-backoff",

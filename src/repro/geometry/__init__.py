@@ -8,6 +8,17 @@ supporting machinery (H-representations, projections, depth, volume,
 sampling) — all on numpy/scipy, with explicit degeneracy handling.
 """
 
+from .batch import (
+    PolytopeBatch,
+    batch_directed_hausdorff,
+    batch_disagreement_diameter,
+    batch_enabled,
+    batch_feasibility,
+    batch_hausdorff_distance,
+    batch_linear_combination,
+    batch_override,
+    set_batch_enabled,
+)
 from .cache import (
     PERF,
     PerfCounters,
@@ -83,6 +94,11 @@ from .sampling import (
     sample_on_vertices,
     sample_outside_polytope,
 )
+from .shared_cache import (
+    set_shared_cache_dir,
+    shared_cache_dir,
+    shared_cache_enabled,
+)
 from .steiner import steiner_lipschitz_bound, steiner_point
 from .tolerances import DEFAULT_TOLERANCES, Tolerances
 from .tverberg import (
@@ -114,6 +130,7 @@ __all__ = [
     "GeometryError",
     "HullComputationError",
     "InfeasibleRegionError",
+    "PolytopeBatch",
     "SolverError",
     "Tolerances",
     "affine_chart",
@@ -121,6 +138,13 @@ __all__ = [
     "affine_rank",
     "as_points_array",
     "aspect_ratio",
+    "batch_directed_hausdorff",
+    "batch_disagreement_diameter",
+    "batch_enabled",
+    "batch_feasibility",
+    "batch_hausdorff_distance",
+    "batch_linear_combination",
+    "batch_override",
     "cache_disabled",
     "cache_enabled",
     "cache_override",
@@ -168,8 +192,12 @@ __all__ = [
     "sample_in_polytope",
     "sample_on_vertices",
     "sample_outside_polytope",
+    "set_batch_enabled",
     "set_cache_enabled",
+    "set_shared_cache_dir",
     "set_subset_mode",
+    "shared_cache_dir",
+    "shared_cache_enabled",
     "steiner_lipschitz_bound",
     "steiner_point",
     "stochastic_row_combination",

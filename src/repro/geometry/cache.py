@@ -81,6 +81,29 @@ class PerfCounters:
     lp_solves: int = 0
     minkowski_pairs: int = 0
     minkowski_candidates: int = 0
+    # Batch-core counters (repro.geometry.batch): pruning effectiveness of
+    # the batched Hausdorff maximisation, redundancy collapse of batched
+    # combinations, and stacked-LP routing of batched feasibility.
+    batch_hausdorff_pairs: int = 0
+    batch_hausdorff_pair_prunes: int = 0
+    batch_hausdorff_vertex_prunes: int = 0
+    batch_hausdorff_dedup_groups: int = 0
+    batch_combination_jobs: int = 0
+    batch_combination_unique: int = 0
+    batch_lp_stacked: int = 0
+    batch_lp_fallbacks: int = 0
+    # Shared cross-worker cache counters (repro.geometry.shared_cache).
+    # Hits are split by provenance: ``local`` entries were written by this
+    # very process (an intra-worker hit that the in-memory LRU missed,
+    # e.g. after eviction), ``foreign`` entries were written by another
+    # worker or a previous run — the cross-worker sharing the cache
+    # exists for.  Merged engine counters therefore no longer conflate
+    # intra-worker memoization with genuine cross-worker reuse.
+    shared_cache_hits_local: int = 0
+    shared_cache_hits_foreign: int = 0
+    shared_cache_misses: int = 0
+    shared_cache_writes: int = 0
+    shared_cache_errors: int = 0
     # Transport-layer counters (repro.runtime.transport): incremented by
     # the lossy fabric and reliable-delivery layer, surfaced through
     # SimulationReport.perf_counters like the geometry counters above.

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from . import shared_cache
 from .cache import COMBINATION_CACHE, PERF, array_key, cache_enabled
 from .errors import DimensionMismatchError, EmptyPolytopeError
 from .hull import hull_vertices
@@ -112,8 +113,25 @@ def linear_combination(
             PERF.combination_cache_hits += 1
             return cached
         PERF.combination_cache_misses += 1
+        # In-memory miss: consult the shared cross-worker cache before
+        # computing.  Disk entries are outputs of this very kernel on
+        # bit-identical operands (content-addressed), so a hit is the
+        # result another worker (or an earlier run) already produced.
+        disk_key: str | None = None
+        if shared_cache.shared_cache_enabled():
+            disk_key = shared_cache.content_key(
+                "linear_combination",
+                [poly.vertices for poly, _ in active],
+                params=(dim, max_intermediate_vertices, tuple(c for _, c in active)),
+            )
+            from_disk = shared_cache.load_polytope(disk_key)
+            if from_disk is not None:
+                COMBINATION_CACHE.put(key, from_disk)
+                return from_disk
         result = _combine_minkowski(active, dim, max_intermediate_vertices)
         COMBINATION_CACHE.put(key, result)
+        if disk_key is not None:
+            shared_cache.store_polytope(disk_key, result)
         return result
     return _combine_minkowski(active, dim, max_intermediate_vertices)
 

@@ -54,6 +54,7 @@ from typing import Iterator
 
 import numpy as np
 
+from . import shared_cache
 from .cache import PERF, SUBSET_CACHE, array_key, cache_enabled
 from .errors import DegenerateInputError, InfeasibleRegionError
 from .halfspaces import (
@@ -347,8 +348,23 @@ def intersect_subset_hulls(points, f: int) -> ConvexPolytope:
             PERF.subset_intersection_cache_hits += 1
             return cached
         PERF.subset_intersection_cache_misses += 1
+        # In-memory miss: consult the shared cross-worker cache.  The
+        # active subset mode is part of the disk key — the depth and
+        # enumeration paths agree geometrically but not bit-for-bit, so
+        # A/B runs flipping REPRO_SUBSET_MODE must not share entries.
+        disk_key: str | None = None
+        if shared_cache.shared_cache_enabled():
+            disk_key = shared_cache.content_key(
+                "intersect_subset_hulls", [pts], params=(f, subset_mode())
+            )
+            from_disk = shared_cache.load_polytope(disk_key)
+            if from_disk is not None:
+                SUBSET_CACHE.put(key, from_disk)
+                return from_disk
         result = _intersect_subset_hulls_uncached(pts, m, dim, f)
         SUBSET_CACHE.put(key, result)
+        if disk_key is not None:
+            shared_cache.store_polytope(disk_key, result)
         return result
     return _intersect_subset_hulls_uncached(pts, m, dim, f)
 

@@ -12,16 +12,65 @@ channels reliable and FIFO, each message delivered exactly once.  The
 Delivery-candidate bookkeeping is *incremental*: the network maintains the
 set of channels that are non-empty, and — once destinations are registered
 as crashed via :meth:`mark_crashed` — the subset of those whose head is
-actually deliverable.  The simulator's hot loop therefore asks for
-:meth:`ready_heads` in O(ready channels) instead of rescanning all
-``n * (n - 1)`` channels per delivery (previously an O(n^2) scan repeated
-for O(n^3) deliveries).
+actually deliverable, as a set *and* as a lexicographically sorted key
+list (``bisect``-maintained, O(log k) search + memmove per update).  The
+simulator's hot loop therefore asks for :meth:`ready_view` — a **lazy**
+sequence over the sorted ready keys that resolves a channel head only
+when indexed — instead of re-sorting and materializing all ~``n^2`` heads
+per delivery.  For the default uniform scheduler (which looks at
+``len(heads)`` and one chosen element) each delivery touches O(1) heads;
+candidate *order* is identical to the eager :meth:`ready_heads`, which
+stays as the oracle the runtime tests compare against.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+from typing import Iterator, Sequence
+
 from .channel import Channel, ChannelError
 from .messages import Envelope, Payload
+
+
+class ReadyHeadsView(Sequence):
+    """Live, lazy, ordered view of a network's deliverable channel heads.
+
+    ``view[i]`` is the head envelope of the ``i``-th ready channel in
+    (src, dst) lexicographic order — element for element the same
+    sequence :meth:`Network.ready_heads` materializes, but heads are
+    fetched on demand: a scheduler that inspects only ``len(view)`` and
+    one index (the default uniform scheduler) costs O(1) per delivery
+    instead of O(ready channels).
+
+    The view is *live*: it reflects the network's current ready set, so
+    it must be consumed before the next ``send``/``deliver`` mutates the
+    network (exactly how the simulator's choose-then-deliver loop uses
+    it).  Schedulers that iterate receive the heads in the same order as
+    the eager list.
+    """
+
+    __slots__ = ("_network",)
+
+    def __init__(self, network: "Network"):
+        self._network = network
+
+    def __len__(self) -> int:
+        return len(self._network._ready_sorted)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            net = self._network
+            return [
+                net._channels[key].head
+                for key in net._ready_sorted[index]
+            ]
+        net = self._network
+        return net._channels[net._ready_sorted[index]].head
+
+    def __iter__(self) -> Iterator[Envelope]:
+        net = self._network
+        for key in net._ready_sorted:
+            yield net._channels[key].head
 
 
 class Network:
@@ -37,9 +86,12 @@ class Network:
             for dst in range(n)
             if src != dst
         }
-        # Incrementally maintained index sets over channel keys.
+        # Incrementally maintained index sets over channel keys.  The
+        # sorted list mirrors the ready set exactly (same membership,
+        # lexicographic order) so views and eager snapshots agree.
         self._nonempty: set[tuple[int, int]] = set()
         self._ready: set[tuple[int, int]] = set()  # non-empty AND dst not crashed
+        self._ready_sorted: list[tuple[int, int]] = []
         self._crashed_dst: set[int] = set()
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -50,8 +102,9 @@ class Network:
         key = (src, dst)
         self._channels[key].enqueue(payload, send_round)
         self._nonempty.add(key)
-        if dst not in self._crashed_dst:
+        if dst not in self._crashed_dst and key not in self._ready:
             self._ready.add(key)
+            insort(self._ready_sorted, key)
         self.messages_sent += 1
 
     def mark_crashed(self, dst: int) -> None:
@@ -67,17 +120,23 @@ class Network:
         self._ready.difference_update(
             key for key in list(self._ready) if key[1] == dst
         )
+        self._ready_sorted = [
+            key for key in self._ready_sorted if key[1] != dst
+        ]
 
     def ready_heads(self) -> list[Envelope]:
         """Deliverable channel heads, in deterministic (src, dst) order.
 
-        Uses the incrementally maintained ready set; the (src, dst)
-        lexicographic sort reproduces exactly the head order the previous
-        full-scan implementation yielded, so seeded schedulers see
-        identical candidate lists and executions are bit-for-bit
-        reproducible across both implementations.
+        The eager snapshot — materializes every ready head.  The hot loop
+        uses :meth:`ready_view` instead; this stays as the oracle (the
+        runtime tests assert ``list(ready_view()) == ready_heads()``) and
+        as the convenient API for non-hot callers.
         """
-        return [self._channels[key].head for key in sorted(self._ready)]
+        return [self._channels[key].head for key in self._ready_sorted]
+
+    def ready_view(self) -> ReadyHeadsView:
+        """Lazy ordered view over the deliverable heads (see class docs)."""
+        return ReadyHeadsView(self)
 
     @property
     def has_ready(self) -> bool:
@@ -88,7 +147,7 @@ class Network:
 
         Caller-supplied-liveness variant kept for the lockstep driver and
         direct tests; it scans only the non-empty channels.  The
-        simulator's hot loop uses :meth:`ready_heads` instead.
+        simulator's hot loop uses :meth:`ready_view` instead.
         """
         return [
             self._channels[key].head
@@ -104,7 +163,10 @@ class Network:
             raise ChannelError("scheduler chose a non-head envelope")
         if not channel.has_pending:
             self._nonempty.discard(key)
-            self._ready.discard(key)
+            if key in self._ready:
+                self._ready.discard(key)
+                idx = bisect_left(self._ready_sorted, key)
+                del self._ready_sorted[idx]
         self.messages_delivered += 1
         return delivered
 

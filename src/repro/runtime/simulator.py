@@ -138,7 +138,11 @@ def run_simulation(
 
     steps = 0
     while network.has_ready:
-        heads = network.ready_heads()
+        # Lazy view: candidate order matches the eager ready_heads()
+        # snapshot exactly, but only the heads the scheduler actually
+        # inspects are resolved (O(1) per delivery for the default
+        # uniform scheduler instead of materializing ~n^2 heads).
+        heads = network.ready_view()
         steps += 1
         if steps > max_steps:
             raise SimulationError(

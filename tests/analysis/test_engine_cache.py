@@ -1,0 +1,118 @@
+"""Engine wiring of the shared cross-worker geometry cache.
+
+Two engine workers pointed at one ``cache_dir`` must (a) never corrupt
+each other, (b) produce rows byte-identical to a cache-less and to a
+cold-cache run, and (c) actually share: a second sweep over the same
+grid — fresh worker processes, warm directory — answers its cold misses
+from entries the first sweep's workers wrote (``foreign`` hits).
+"""
+
+import json
+
+import numpy as np
+
+from repro.analysis.engine import TaskSpec, run_grid, task_key
+from repro.geometry.combination import linear_combination
+from repro.geometry.intersection import intersect_subset_hulls
+from repro.geometry.polytope import ConvexPolytope
+
+# ---------------------------------------------------------------------------
+# Module-level cell (picklable for pool workers).
+
+
+def geometry_cell(*, seed, family):
+    """Deterministic geometry work shared across cells of one ``family``.
+
+    Every cell of a family computes the same combination and subset
+    intersection (content-identical inputs — the worst-case redundancy
+    the shared cache exists to collapse), plus one seed-specific
+    combination so each cell also does unique work.
+    """
+    rng = np.random.default_rng(family)
+    polys = [
+        ConvexPolytope.from_points(rng.normal(size=(8, 2))) for _ in range(3)
+    ]
+    shared = linear_combination(polys, [0.5, 0.25, 0.25])
+    inter = intersect_subset_hulls(rng.normal(size=(9, 2)), 2)
+    own_rng = np.random.default_rng(1000 + seed)
+    own = linear_combination(
+        [
+            ConvexPolytope.from_points(own_rng.normal(size=(6, 2)))
+            for _ in range(2)
+        ],
+        [0.5, 0.5],
+    )
+    return {
+        "seed": seed,
+        "shared_digest": shared.vertices.tobytes().hex(),
+        "inter_digest": inter.vertices.tobytes().hex(),
+        "own_digest": own.vertices.tobytes().hex(),
+    }
+
+
+def grid(seeds, family=7):
+    return [
+        TaskSpec(
+            key=task_key(seed=s, family=family),
+            runner=geometry_cell,
+            params={"seed": s, "family": family},
+        )
+        for s in seeds
+    ]
+
+
+def rows_bytes(report) -> str:
+    return json.dumps(report.rows(), sort_keys=True)
+
+
+def shared_counters(report) -> dict:
+    merged = report.counters
+    return {k: v for k, v in merged.items() if k.startswith("shared_cache")}
+
+
+class TestEngineSharedCache:
+    def test_two_workers_one_dir_byte_identical(self, tmp_path):
+        """Concurrent workers on one cache dir: safe and bit-identical."""
+        baseline = run_grid(grid(range(6)), workers=1)
+        assert baseline.failed == 0
+        cached = run_grid(
+            grid(range(6)),
+            workers=2,
+            cache_dir=tmp_path / "cache",
+            start_method="spawn",
+        )
+        assert cached.failed == 0
+        assert rows_bytes(cached) == rows_bytes(baseline)
+        # The workers went through the shared cache (misses and writes
+        # observed), whatever the interleaving.
+        stats = shared_counters(cached)
+        assert stats.get("shared_cache_writes", 0) > 0
+        assert stats.get("shared_cache_errors", 0) == 0
+
+    def test_warm_directory_yields_foreign_hits(self, tmp_path):
+        """Fresh worker processes answer cold misses from siblings' entries."""
+        cache = tmp_path / "cache"
+        cold = run_grid(
+            grid(range(4)), workers=2, cache_dir=cache, start_method="spawn"
+        )
+        assert cold.failed == 0
+        warm = run_grid(
+            grid(range(4)), workers=2, cache_dir=cache, start_method="spawn"
+        )
+        assert warm.failed == 0
+        # Bit-identical rows from cache entries another process wrote.
+        assert rows_bytes(warm) == rows_bytes(cold)
+        stats = shared_counters(warm)
+        assert stats.get("shared_cache_hits_foreign", 0) > 0, stats
+
+    def test_cache_dir_env_restored(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        run_grid(grid(range(2)), workers=1, cache_dir=tmp_path / "c")
+        import os
+
+        assert "REPRO_CACHE_DIR" not in os.environ
+
+    def test_cache_dir_created(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "cache"
+        run_grid(grid(range(2)), workers=1, cache_dir=target)
+        assert target.is_dir()

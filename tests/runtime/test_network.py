@@ -102,3 +102,70 @@ class TestNetwork:
         net.deliver(net.ready_heads()[0])
         keys_after = [(e.src, e.dst) for e in net.ready_heads()]
         assert keys_after == [k for k in keys if k != (0, 1)]
+
+
+class TestReadyHeadsView:
+    """The lazy view (hot-loop path) mirrors the eager oracle exactly."""
+
+    def _filled_net(self, n=4, seed=3):
+        import random
+
+        rng = random.Random(seed)
+        net = Network(n)
+        for _ in range(20):
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            if src != dst:
+                net.send(src, dst, _payload(), send_round=0)
+        return net
+
+    def test_view_matches_oracle_elementwise(self):
+        net = self._filled_net()
+        view = net.ready_view()
+        eager = net.ready_heads()
+        assert len(view) == len(eager)
+        assert list(view) == eager
+        for i in range(len(eager)):
+            assert view[i] is eager[i]
+        assert view[1:3] == eager[1:3]
+
+    def test_view_is_live_through_mutations(self):
+        import random
+
+        rng = random.Random(7)
+        net = self._filled_net()
+        view = net.ready_view()
+        # Interleave deliveries, sends, and a crash; the one view object
+        # tracks the oracle through every mutation.
+        for step in range(30):
+            if not net.has_ready:
+                break
+            assert list(view) == net.ready_heads()
+            env = view[rng.randrange(len(view))]
+            net.deliver(env)
+            if step == 5:
+                net.send(0, 1, _payload(99), send_round=1)
+            if step == 10:
+                net.mark_crashed(2)
+        assert list(view) == net.ready_heads()
+
+    def test_crash_removes_inbound_from_view(self):
+        net = Network(3)
+        net.send(0, 1, _payload(), send_round=0)
+        net.send(0, 2, _payload(), send_round=0)
+        net.mark_crashed(1)
+        view = net.ready_view()
+        assert [(e.src, e.dst) for e in view] == [(0, 2)]
+        # Sends to the crashed destination never enter the view.
+        net.send(2, 1, _payload(), send_round=0)
+        assert [(e.src, e.dst) for e in view] == [(0, 2)]
+
+    def test_queued_channel_stays_ready_after_delivery(self):
+        net = Network(2)
+        net.send(0, 1, _payload(0), send_round=0)
+        net.send(0, 1, _payload(1), send_round=0)
+        view = net.ready_view()
+        net.deliver(view[0])
+        # Channel still non-empty: stays in the view with its new head.
+        assert len(view) == 1
+        assert list(view) == net.ready_heads()

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Check relative markdown links (and their #anchors) across the docs.
+
+Scans every tracked markdown file at the repository root and under
+``docs/`` for inline links ``[text](target)``, and verifies that
+
+* a relative ``target`` resolves to an existing file or directory
+  (relative to the linking file), and
+* a ``#fragment`` — on a relative link or alone — matches a heading
+  anchor in the target file, using GitHub's slugification (lowercase,
+  punctuation stripped, spaces to hyphens, ``-N`` suffixes for
+  duplicates).
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+this is a *repository consistency* check, not a liveness probe.  Fenced
+code blocks are ignored so ASCII diagrams and code samples cannot
+produce false positives.
+
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link).  Run from anywhere: paths are anchored at the repository
+root (the parent of this file's directory).
+
+    python tools/check_links.py
+    python tools/check_links.py --verbose   # list every checked link
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown link: [text](target).  Images ![alt](target) match
+#: too via the optional bang.  Nested brackets in the text are not
+#: supported (none are used in this repo's docs).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+#: Characters GitHub keeps in anchors: word chars, spaces, and hyphens.
+SLUG_STRIP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> list[Path]:
+    """Markdown files at the root and under docs/, sorted for stable output."""
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+    return [f for f in files if f.is_file()]
+
+
+def strip_fences(text: str) -> list[str]:
+    """Lines of ``text`` with fenced code blocks blanked (not removed).
+
+    Blanking keeps line numbers aligned for error messages.
+    """
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor for one heading's text."""
+    # Inline markup contributes its text only.
+    text = heading.replace("`", "")
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)
+    text = SLUG_STRIP_RE.sub("", text.lower())
+    return text.strip().replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    """All heading anchors of a markdown file, with -N duplicate suffixes."""
+    if path in cache:
+        return cache[path]
+    counts: dict[str, int] = {}
+    anchors: set[str] = set()
+    for line in strip_fences(path.read_text(encoding="utf-8")):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(
+    path: Path, cache: dict[Path, set[str]], *, verbose: bool
+) -> list[str]:
+    """All broken-link messages for one markdown file."""
+    problems = []
+    lines = strip_fences(path.read_text(encoding="utf-8"))
+    rel = path.relative_to(REPO_ROOT)
+    for lineno, line in enumerate(lines, start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            where = f"{rel}:{lineno}"
+            file_part, _, fragment = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append(f"{where}: broken link -> {target}")
+                    continue
+            else:
+                resolved = path  # '#anchor' alone: same file
+            if fragment:
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    problems.append(
+                        f"{where}: anchor on non-markdown target -> {target}"
+                    )
+                    continue
+                if fragment.lower() not in anchors_of(resolved, cache):
+                    problems.append(f"{where}: broken anchor -> {target}")
+                    continue
+            if verbose:
+                print(f"ok  {where} -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every checked link"
+    )
+    args = parser.parse_args(argv)
+
+    cache: dict[Path, set[str]] = {}
+    problems: list[str] = []
+    files = doc_files()
+    for path in files:
+        problems.extend(check_file(path, cache, verbose=args.verbose))
+
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(
+            f"check_links: {len(problems)} broken link(s) across "
+            f"{len(files)} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_links: all relative links resolve across {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
