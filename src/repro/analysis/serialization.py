@@ -19,7 +19,7 @@ from typing import Any
 import numpy as np
 
 from ..geometry.polytope import ConvexPolytope
-from ..runtime.faults import CrashSpec, FaultPlan
+from ..runtime.faults import CrashSpec, FaultPlan, RecoverySpec
 from ..runtime.messages import InputTuple
 from ..runtime.tracing import ExecutionTrace, ProcessTrace
 
@@ -59,6 +59,10 @@ def _fault_plan_to_obj(plan: FaultPlan) -> dict[str, Any]:
             if plan.incorrect_inputs is not None
             else None
         ),
+        "recoveries": {
+            str(pid): [spec.recover_at, spec.durability]
+            for pid, spec in plan.recoveries.items()
+        },
     }
 
 
@@ -74,6 +78,11 @@ def _fault_plan_from_obj(obj: dict[str, Any]) -> FaultPlan:
             if obj["incorrect_inputs"] is not None
             else None
         ),
+        # .get: pre-recovery archives have no "recoveries" key.
+        recoveries={
+            int(pid): RecoverySpec(recover_at=spec[0], durability=spec[1])
+            for pid, spec in obj.get("recoveries", {}).items()
+        },
     )
 
 
@@ -95,6 +104,13 @@ def _process_to_obj(proc: ProcessTrace) -> dict[str, Any]:
         "sends_in_round": {str(r): c for r, c in proc.sends_in_round.items()},
         "crash_fired_round": proc.crash_fired_round,
         "decided": proc.decided,
+        "recovered_at_step": proc.recovered_at_step,
+        "recovery_durability": proc.recovery_durability,
+        "restarts": proc.restarts,
+        "pre_recovery_states": [
+            {str(t): _polytope_to_obj(poly) for t, poly in states.items()}
+            for states in proc.pre_recovery_states
+        ],
     }
 
 
@@ -121,6 +137,14 @@ def _process_from_obj(obj: dict[str, Any]) -> ProcessTrace:
     }
     proc.crash_fired_round = obj["crash_fired_round"]
     proc.decided = bool(obj["decided"])
+    # .get defaults: traces archived before the crash-recovery extension.
+    proc.recovered_at_step = obj.get("recovered_at_step")
+    proc.recovery_durability = obj.get("recovery_durability")
+    proc.restarts = int(obj.get("restarts", 0))
+    proc.pre_recovery_states = [
+        {int(t): _polytope_from_obj(p) for t, p in states.items()}
+        for states in obj.get("pre_recovery_states", ())
+    ]
     return proc
 
 

@@ -38,6 +38,20 @@ beneath the reliable transport, :mod:`repro.runtime.transport`):
   Termination is *impossible* (the channel model's fairness premise is
   broken), and the run must end in the transport's delivery-budget abort
   rather than a hang — campaigns count these violations as expected.
+
+Three *recovery* profiles sample crash-recover schedules (every faulty
+process crashes and later revives, :mod:`repro.runtime.recovery`):
+
+* ``recovery-legal``   — all recoveries durable (checkpoint-restored).
+  On the structural reliable network a durable recoverer is
+  indistinguishable from a slow process, so every invariant must hold;
+  violations are implementation bugs.
+* ``recovery-amnesia`` — all recoveries restart from scratch.  An
+  amnesiac re-broadcast is equivocation-lite; safety or termination
+  findings are *expected*.
+* ``recovery-storm``   — per-process random durability (durable /
+  amnesia / late-join) under the full scheduler pool; expected-violation
+  stress tier.
 """
 
 from __future__ import annotations
@@ -50,7 +64,16 @@ import numpy as np
 from ..analysis.serialization import fault_plan_from_obj, fault_plan_to_obj
 from ..core.config import required_processes
 from ..core.runner import derive_bounds
-from ..runtime.faults import CrashSpec, FaultPlan, LinkFaultPlan, LinkFaultSpec
+from ..runtime.faults import (
+    AMNESIA,
+    DURABLE,
+    LATE_JOIN,
+    CrashSpec,
+    FaultPlan,
+    LinkFaultPlan,
+    LinkFaultSpec,
+    RecoverySpec,
+)
 from ..runtime.scheduler import (
     AdaptiveAdversaryScheduler,
     BurstyScheduler,
@@ -67,6 +90,9 @@ LABEL_BEYOND = "beyond-bound"
 LABEL_LOSSY = "lossy"
 LABEL_PARTITION_HEAL = "partition-heal"
 LABEL_PARTITION_FOREVER = "partition-forever"
+LABEL_RECOVERY_LEGAL = "recovery-legal"
+LABEL_RECOVERY_AMNESIA = "recovery-amnesia"
+LABEL_RECOVERY_STORM = "recovery-storm"
 
 PROFILES = (
     LABEL_LEGAL,
@@ -76,13 +102,36 @@ PROFILES = (
     LABEL_LOSSY,
     LABEL_PARTITION_HEAL,
     LABEL_PARTITION_FOREVER,
+    LABEL_RECOVERY_LEGAL,
+    LABEL_RECOVERY_AMNESIA,
+    LABEL_RECOVERY_STORM,
 )
 
 #: Profiles whose violations a campaign counts as expected findings:
-#: the probes deliberately break a premise (the Theorem 2 bound or the
-#: fair-lossy channel assumption).
+#: the probes deliberately break a premise (the Theorem 2 bound, the
+#: fair-lossy channel assumption, or — for the recovery probes — the
+#: crash-stop assumption without durable state: an amnesiac restart can
+#: equivocate across incarnations, so agreement/containment violations
+#: are the *predicted* outcome, and a storm mixes durability modes on
+#: top).  ``recovery-legal`` (durable state, structural network) is
+#: deliberately *not* here: a durable recoverer is just a slow process,
+#: so every invariant must hold and any violation is an implementation
+#: bug.
 EXPECTED_VIOLATION_LABELS = frozenset(
-    {LABEL_BELOW, LABEL_BEYOND, LABEL_PARTITION_FOREVER}
+    {
+        LABEL_BELOW,
+        LABEL_BEYOND,
+        LABEL_PARTITION_FOREVER,
+        LABEL_RECOVERY_AMNESIA,
+        LABEL_RECOVERY_STORM,
+    }
+)
+
+#: The recovery probes (crash-recover schedules in all durability modes).
+RECOVERY_LABELS = (
+    LABEL_RECOVERY_LEGAL,
+    LABEL_RECOVERY_AMNESIA,
+    LABEL_RECOVERY_STORM,
 )
 
 #: Workload name -> (n, d, seed) -> inputs array.  A subset of the input
@@ -387,6 +436,35 @@ def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
             link_plan = LinkFaultPlan.isolate(
                 [pid], n, start, None, seed=plan_seed
             )
+
+    # Recovery sampling keeps the same append-only discipline: these
+    # draws come after every legacy draw, so the historical profiles'
+    # streams are untouched and future shared prefixes stay regenerable.
+    if label in RECOVERY_LABELS:
+        crashes = dict(crashes)
+        recoveries: dict[int, RecoverySpec] = {}
+        for pid in faulty:
+            if pid not in crashes:
+                # A recovery needs a crash to recover from; force one.
+                crashes[pid] = CrashSpec(
+                    round_index=int(
+                        rng.integers(0, config.max_crash_round + 1)
+                    ),
+                    after_sends=int(rng.integers(0, 2 * n)),
+                )
+            recover_at = int(rng.integers(1, 51))
+            if label == LABEL_RECOVERY_LEGAL:
+                durability = DURABLE
+            elif label == LABEL_RECOVERY_AMNESIA:
+                durability = AMNESIA
+            else:  # storm: independent per-process durability
+                durability = str(_pick(rng, (DURABLE, AMNESIA, LATE_JOIN)))
+            recoveries[pid] = RecoverySpec(
+                recover_at=recover_at, durability=durability
+            )
+        plan = FaultPlan(
+            faulty=frozenset(faulty), crashes=crashes, recoveries=recoveries
+        )
 
     return FuzzCase(
         case_id=f"{label}-s{seed}",

@@ -8,10 +8,13 @@ violation kind* still fires:
 
 1. **Drop faulty processes** — remove a pid from the fault plan entirely
    (it becomes a correct process with its current input).
-2. **Reduce crash specs** — push ``after_sends`` toward 0 (crash before
+2. **Drop recoveries** — demote a crash-recover pid to plain crash-stop
+   (if the violation survives, recovery was irrelevant to it); surviving
+   recoveries get their ``recover_at`` delay halved toward 1.
+3. **Reduce crash specs** — push ``after_sends`` toward 0 (crash before
    the broadcast rather than mid-way) and ``round_index`` toward 0,
    greedily with halving steps.
-3. **Shrink the schedule** — ddmin over the recorded decision list:
+4. **Shrink the schedule** — ddmin over the recorded decision list:
    remove contiguous segments at halving granularity down to single
    decisions (greedy prefix removal falls out of the first pass).  The
    edited list stays executable because
@@ -66,6 +69,11 @@ def _drop_pid(plan_obj: dict[str, Any], pid: int) -> dict[str, Any]:
             if int(key) != pid
         },
         "incorrect_inputs": plan_obj.get("incorrect_inputs"),
+        "recoveries": {
+            key: spec
+            for key, spec in plan_obj.get("recoveries", {}).items()
+            if int(key) != pid
+        },
     }
     if out["incorrect_inputs"] is not None:
         out["incorrect_inputs"] = [
@@ -81,8 +89,21 @@ def _with_crash(
         "faulty": list(plan_obj["faulty"]),
         "crashes": dict(plan_obj["crashes"]),
         "incorrect_inputs": plan_obj.get("incorrect_inputs"),
+        "recoveries": dict(plan_obj.get("recoveries", {})),
     }
     out["crashes"][str(pid)] = [round_index, after_sends]
+    return out
+
+
+def _with_recoveries(
+    plan_obj: dict[str, Any], recoveries: dict[str, Any]
+) -> dict[str, Any]:
+    out = {
+        "faulty": list(plan_obj["faulty"]),
+        "crashes": dict(plan_obj["crashes"]),
+        "incorrect_inputs": plan_obj.get("incorrect_inputs"),
+        "recoveries": dict(recoveries),
+    }
     return out
 
 
@@ -117,6 +138,10 @@ def shrink(
             key: list(spec) for key, spec in case.fault_plan["crashes"].items()
         },
         "incorrect_inputs": case.fault_plan.get("incorrect_inputs"),
+        "recoveries": {
+            key: list(spec)
+            for key, spec in case.fault_plan.get("recoveries", {}).items()
+        },
     }
     schedule: Schedule = tuple(outcome.schedule)
 
@@ -177,7 +202,49 @@ def shrink(
                 note(f"dropped faulty process {pid}")
                 progress = True
 
-        # Pass 2 — reduce crash specs (after_sends first, then round).
+        # Pass 2 — drop recoveries (crash-recover -> crash-stop), then
+        # halve the recover_at delay of the recoveries that must stay.
+        for key in sorted(plan_obj.get("recoveries", {})):
+            remaining = {
+                k: v
+                for k, v in plan_obj["recoveries"].items()
+                if k != key
+            }
+            candidate = _with_recoveries(plan_obj, remaining)
+            result = attempt(candidate, schedule)
+            if result is not None:
+                plan_obj = candidate
+                state["best"] = result
+                note(f"dropped recovery of process {key}")
+                progress = True
+        for key in sorted(plan_obj.get("recoveries", {})):
+            recover_at, durability = plan_obj["recoveries"][key]
+            while recover_at > 1 and budget_left():
+                for cand_at in _halving_candidates(recover_at):
+                    if cand_at < 1:
+                        continue
+                    candidate = _with_recoveries(
+                        plan_obj,
+                        {
+                            **plan_obj["recoveries"],
+                            key: [cand_at, durability],
+                        },
+                    )
+                    result = attempt(candidate, schedule)
+                    if result is not None:
+                        plan_obj = candidate
+                        state["best"] = result
+                        note(
+                            f"recovery({key}): recover_at "
+                            f"{recover_at} -> {cand_at}"
+                        )
+                        recover_at = cand_at
+                        progress = True
+                        break
+                else:
+                    break
+
+        # Pass 3 — reduce crash specs (after_sends first, then round).
         for key in sorted(plan_obj["crashes"]):
             pid = int(key)
             round_index, after_sends = plan_obj["crashes"][key]
@@ -218,7 +285,7 @@ def shrink(
                 else:
                     break
 
-        # Pass 3 — ddmin the schedule (prefix removal is segment removal
+        # Pass 4 — ddmin the schedule (prefix removal is segment removal
         # at offset 0, so it is covered by the first iteration).
         segment = max(len(schedule) // 2, 1)
         while segment >= 1 and budget_left():

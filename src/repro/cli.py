@@ -7,7 +7,10 @@ Commands
                     ``run``) — ``--loss-rate``/``--dup-rate``/
                     ``--partition`` put it on the lossy fabric behind the
                     reliable transport; ``--raw-transport`` bypasses the
-                    recovery layer to demonstrate the delivery oracle
+                    recovery layer to demonstrate the delivery oracle;
+                    ``--recover-at PID:STEPS`` (with ``--durability``)
+                    revives a ``--crash``\\ ed process after STEPS
+                    deliveries
 ``verify``          re-check a dumped trace (invariants + matrix theory)
 ``sweep``           run a scenario across seeds — ``--workers N`` shards the
                     grid over a process pool, ``--run-dir DIR`` checkpoints
@@ -39,7 +42,15 @@ from .core.matrix import (
     verify_state_evolution,
 )
 from .core.runner import run_convex_hull_consensus
-from .runtime.faults import CrashSpec, FaultPlan, LinkFaultPlan, LinkFaultSpec
+from .runtime.faults import (
+    DURABILITY_MODES,
+    DURABLE,
+    CrashSpec,
+    FaultPlan,
+    LinkFaultPlan,
+    LinkFaultSpec,
+    RecoverySpec,
+)
 from .workloads import scenarios as scenario_mod
 from .workloads import inputs as input_gen
 
@@ -81,6 +92,24 @@ def _parse_crash(spec: str) -> tuple[int, tuple[int, int]]:
         )
     pid, round_index, after = (int(p) for p in parts)
     return pid, (round_index, after)
+
+
+def _parse_recovery(spec: str) -> tuple[int, int]:
+    """Parse ``pid:steps`` into a recovery-entry pair."""
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"recovery spec must be pid:steps, got {spec!r}"
+        )
+    try:
+        pid, steps = int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"recovery spec must be pid:steps, got {spec!r}"
+        ) from exc
+    if steps < 1:
+        raise argparse.ArgumentTypeError("recovery steps must be >= 1")
+    return pid, steps
 
 
 def _parse_partition(spec: str) -> tuple[tuple[int, ...], int, int | None]:
@@ -205,13 +234,25 @@ def cmd_consensus(args) -> int:
     plan = FaultPlan.none()
     if args.crash:
         crashes = dict(args.crash)
-        plan = FaultPlan(
-            faulty=frozenset(crashes),
-            crashes={
-                pid: CrashSpec(round_index=r, after_sends=k)
-                for pid, (r, k) in crashes.items()
-            },
-        )
+        recoveries = {
+            pid: RecoverySpec(recover_at=steps, durability=args.durability)
+            for pid, steps in (args.recover_at or [])
+        }
+        try:
+            plan = FaultPlan(
+                faulty=frozenset(crashes),
+                crashes={
+                    pid: CrashSpec(round_index=r, after_sends=k)
+                    for pid, (r, k) in crashes.items()
+                },
+                recoveries=recoveries,
+            ).validate(args.n)
+        except ValueError as exc:
+            print(f"invalid fault plan: {exc}", file=sys.stderr)
+            return 2
+    elif args.recover_at:
+        print("--recover-at requires a matching --crash", file=sys.stderr)
+        return 2
     from .runtime.network import ChannelError
     from .runtime.simulator import SimulationError
 
@@ -233,14 +274,27 @@ def cmd_consensus(args) -> int:
         print(f"no termination: {exc}", file=sys.stderr)
         return 1
     _summarise(result)
+    counters = result.report.perf_counters
+    print(
+        f"reliability: retransmissions={counters.get('retransmissions', 0)} "
+        f"dup_drops={counters.get('dup_drops', 0)} "
+        f"shared_cache_errors={counters.get('shared_cache_errors', 0)}"
+    )
     if link_plan is not None:
-        counters = result.report.perf_counters
         print(
-            f"transport: retransmissions={counters.get('retransmissions', 0)} "
-            f"acks={counters.get('ack_messages', 0)} "
-            f"dup_drops={counters.get('dup_drops', 0)} "
+            f"transport: acks={counters.get('ack_messages', 0)} "
             f"link_drops={counters.get('link_drops', 0)} "
-            f"partition_heals={counters.get('partition_heals', 0)}"
+            f"partition_heals={counters.get('partition_heals', 0)} "
+            f"crashed_app_drops={counters.get('crashed_app_drops', 0)}"
+        )
+    if plan.recoveries:
+        print(
+            f"recovery: recovered={sorted(result.report.recovered)} "
+            f"restarts={counters.get('recovery_restarts', 0)} "
+            f"checkpoint_saves={counters.get('checkpoint_saves', 0)} "
+            f"checkpoint_restores={counters.get('checkpoint_restores', 0)} "
+            f"checkpoint_corruptions="
+            f"{counters.get('checkpoint_corruptions', 0)}"
         )
     ok = _check_and_report(result.trace, matrix_checks=args.matrix)
     if args.dump:
@@ -298,6 +352,11 @@ def cmd_sweep(args) -> int:
         f"wall={engine.wall_seconds:.2f}s cell-time={engine.cell_seconds:.2f}s "
         f"hull_calls={counters.get('hull_calls', 0)} "
         f"lru_hit_rate={cache_hit_rate(counters):.2f}"
+    )
+    print(
+        f"reliability: retransmissions={counters.get('retransmissions', 0)} "
+        f"dup_drops={counters.get('dup_drops', 0)} "
+        f"shared_cache_errors={counters.get('shared_cache_errors', 0)}"
     )
     if args.cache_dir is not None:
         print(
@@ -489,6 +548,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash process PID in ROUND after SENDS sends (repeatable)",
     )
     p_run.add_argument(
+        "--recover-at",
+        type=_parse_recovery,
+        action="append",
+        metavar="PID:STEPS",
+        help="revive crashed process PID after STEPS further deliveries "
+        "(repeatable; each PID needs a matching --crash)",
+    )
+    p_run.add_argument(
+        "--durability",
+        default=DURABLE,
+        choices=sorted(DURABILITY_MODES),
+        help="what a revived process remembers: 'durable' restores its "
+        "checkpoint, 'amnesia' restarts the protocol from its input, "
+        "'late-join' rejoins silently with no state (default: durable)",
+    )
+    p_run.add_argument(
         "--loss-rate",
         type=float,
         default=0.0,
@@ -617,9 +692,13 @@ def build_parser() -> argparse.ArgumentParser:
             "lossy",
             "partition-heal",
             "partition-forever",
+            "recovery-legal",
+            "recovery-amnesia",
+            "recovery-storm",
         ],
-        help="sampling profile: relative to the n >= (d+2)f+1 bound, or "
-        "over the link-fault space (lossy fabric + reliable transport)",
+        help="sampling profile: relative to the n >= (d+2)f+1 bound, "
+        "over the link-fault space (lossy fabric + reliable transport), "
+        "or over crash-recover schedules (durable / amnesia / mixed)",
     )
     p_fuzz.add_argument(
         "--raw-transport",

@@ -129,6 +129,112 @@ class CCProcess(ProtocolCore):
         return out
 
     # ------------------------------------------------------------------
+    # Checkpointing (crash-recovery support)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """JSON-safe snapshot of the full protocol state.
+
+        Covers the round index, the stable-vector engine (view, latest
+        views per sender, frozen result, broadcast count), every computed
+        state ``h_i[t]``, the per-round receive buffers, and the decided
+        flag.  Algorithm CC is deterministic — it holds no RNG or
+        tie-break state, so there is nothing of that kind to persist.
+
+        Vertex coordinates survive the JSON round-trip bit-exactly
+        (``json`` emits shortest-repr float64), so a restored process's
+        subsequent round messages carry byte-identical vertex arrays —
+        the property the durable-recovery replay test asserts.
+        """
+        sv = self._sv
+
+        def entries(view) -> list:
+            return [[list(e.value), e.sender] for e in sorted(view)]
+
+        return {
+            "pid": self.pid,
+            "round": self._round,
+            "done": self._done,
+            "input": [float(x) for x in self.input_point],
+            "sv": {
+                "view": entries(sv._view),
+                "latest": {
+                    str(src): entries(view)
+                    for src, view in sv._latest_view.items()
+                },
+                "result": entries(sv.result) if sv.result is not None else None,
+                "broadcasts_sent": sv.broadcasts_sent,
+            },
+            "h": {
+                str(t): [list(v) for v in freeze_vertices(poly.vertices)]
+                for t, poly in self._h.items()
+            },
+            "round_buffer": {
+                str(t): {
+                    str(sender): [
+                        list(v) for v in freeze_vertices(poly.vertices)
+                    ]
+                    for sender, poly in buf.items()
+                }
+                for t, buf in self._round_buffer.items()
+            },
+            "frozen_rounds": sorted(self._frozen_rounds),
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        config: CCConfig,
+        data: dict,
+        trace: ProcessTrace | None = None,
+    ) -> "CCProcess":
+        """Rebuild a process from :meth:`checkpoint` output.
+
+        The restored core is a genuinely fresh object — every polytope is
+        re-interned from the serialized vertices via the trusted
+        constructor (the sender had already minimized them), so the
+        restore path exercises real deserialization, never object reuse.
+        """
+
+        def tuples(entries) -> set[InputTuple]:
+            return {
+                InputTuple(value=tuple(float(x) for x in value), sender=int(s))
+                for value, s in entries
+            }
+
+        def polytope(vertices) -> ConvexPolytope:
+            frozen = tuple(tuple(float(x) for x in row) for row in vertices)
+            return ConvexPolytope.from_trusted_vertices(frozen, dim=config.dim)
+
+        core = cls(
+            pid=int(data["pid"]),
+            config=config,
+            input_point=data["input"],
+            trace=trace,
+        )
+        core._round = int(data["round"])
+        core._done = bool(data["done"])
+        sv_data = data["sv"]
+        sv = core._sv
+        sv._view = tuples(sv_data["view"])
+        sv._latest_view = {
+            int(src): frozenset(tuples(view))
+            for src, view in sv_data["latest"].items()
+        }
+        sv.result = (
+            frozenset(tuples(sv_data["result"]))
+            if sv_data["result"] is not None
+            else None
+        )
+        sv.broadcasts_sent = int(sv_data["broadcasts_sent"])
+        core._h = {int(t): polytope(v) for t, v in data["h"].items()}
+        core._round_buffer = {
+            int(t): {int(s): polytope(v) for s, v in buf.items()}
+            for t, buf in data["round_buffer"].items()
+        }
+        core._frozen_rounds = set(int(t) for t in data["frozen_rounds"])
+        return core
+
+    # ------------------------------------------------------------------
     # Round 0
     # ------------------------------------------------------------------
     def _poll_stable_vector(self) -> list[Outgoing]:

@@ -50,14 +50,16 @@ def check_validity(
 
     Checked for *all* recorded states of all processes (the paper notes
     validity holds for every process that has not crashed yet, not only
-    the fault-free ones).
+    the fault-free ones) — including every state of every pre-recovery
+    incarnation of a restarted process: a state that ever existed was
+    observable by others, so it must have been valid.
     """
     hull = ConvexPolytope.from_points(trace.correct_inputs)
     checked = 0
     violations: list[tuple[int, int, float]] = []
     worst = 0.0
     for proc in trace.processes:
-        for t, state in proc.states.items():
+        for t, state in proc.all_states():
             checked += 1
             excess = max(
                 (hull.distance_to_point(v) for v in state.vertices), default=0.0
@@ -75,6 +77,9 @@ class AgreementReport:
     disagreement: float
     eps: float
     num_outputs: int
+    #: How many of the outputs came from processes that crashed and
+    #: recovered (0 for crash-stop runs — the historical report).
+    num_recovered: int = 0
 
     @property
     def ok(self) -> bool:
@@ -82,11 +87,23 @@ class AgreementReport:
 
 
 def check_agreement(trace: ExecutionTrace) -> AgreementReport:
-    """epsilon-Agreement over the fault-free outputs (Theorem 2)."""
-    outputs = list(trace.fault_free_outputs().values())
-    disagreement = disagreement_diameter(outputs) if len(outputs) >= 2 else 0.0
+    """epsilon-Agreement over the fault-free outputs (Theorem 2).
+
+    Recovery-aware: the agreement scope is
+    :meth:`~repro.runtime.tracing.ExecutionTrace.agreement_outputs` —
+    fault-free outputs *plus* every post-recovery decider, in any
+    durability mode.  A process that came back and decided announced a
+    decision to the world; it does not get a pass on agreeing with it.
+    """
+    outputs = trace.agreement_outputs()
+    recovered = trace.recovered_outputs()
+    values = list(outputs.values())
+    disagreement = disagreement_diameter(values) if len(values) >= 2 else 0.0
     return AgreementReport(
-        disagreement=disagreement, eps=trace.eps, num_outputs=len(outputs)
+        disagreement=disagreement,
+        eps=trace.eps,
+        num_outputs=len(values),
+        num_recovered=len(recovered),
     )
 
 
@@ -95,6 +112,13 @@ class TerminationReport:
     decided: list[int]
     crashed: list[int]
     stuck: list[int]
+    #: Processes that recovered without durable state and ended
+    #: undecided — the *documented* termination regression (amnesia /
+    #: late-join rejoiners may never re-earn a decision); allowed by
+    #: :attr:`ok`.  A *durable* recoverer that ends undecided goes into
+    #: ``stuck`` instead: with its full pre-crash state restored it is
+    #: indistinguishable from a slow process and must decide.
+    recovered_undecided: list[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -102,16 +126,37 @@ class TerminationReport:
 
 
 def check_termination(trace: ExecutionTrace) -> TerminationReport:
-    """Every process that never crashed must have decided."""
+    """Every process that never crashed must have decided.
+
+    Recovery-aware extension: a durable-recovered process must also
+    decide (it is a slow process, not a ghost); amnesia and late-join
+    recoverers are permitted to end undecided, reported separately as
+    ``recovered_undecided``.
+    """
+    from ..runtime.faults import DURABLE
+
     decided, crashed, stuck = [], [], []
+    recovered_undecided: list[int] = []
     for proc in trace.processes:
-        if proc.crash_fired_round is not None:
+        if proc.recovered_at_step is not None:
+            if proc.decided:
+                decided.append(proc.pid)
+            elif proc.recovery_durability == DURABLE:
+                stuck.append(proc.pid)
+            else:
+                recovered_undecided.append(proc.pid)
+        elif proc.crash_fired_round is not None:
             crashed.append(proc.pid)
         elif proc.decided:
             decided.append(proc.pid)
         else:
             stuck.append(proc.pid)
-    return TerminationReport(decided=decided, crashed=crashed, stuck=stuck)
+    return TerminationReport(
+        decided=decided,
+        crashed=crashed,
+        stuck=stuck,
+        recovered_undecided=recovered_undecided,
+    )
 
 
 @dataclass
@@ -138,6 +183,12 @@ def check_optimality(
     from a fault-free output to ``I_Z`` — how much *extra* region beyond
     the guaranteed optimum the run retained (Theorem 3 allows any excess;
     the guarantee is one-sided).
+
+    Scope under crash-recovery: only the *current* incarnation's states
+    are checked.  Lemma 6 is a statement about one protocol execution;
+    a discarded pre-restart incarnation's states belong to an execution
+    that was abandoned, and the common view ``Z`` is likewise built from
+    the surviving incarnations' round-0 views.
     """
     points = trace.common_view_points()
     if points.size == 0:
@@ -293,6 +344,12 @@ class StreamingInvariantChecker:
             t.pid: set() for t in self._traces
         }
         self._views: dict[int, frozenset] = {}
+        # Incarnation tracking: a restart (amnesia / late-join) clears a
+        # trace's states and r_view, so the per-pid diffing state must be
+        # reset too — the new incarnation is re-checked from scratch.
+        self._generations: dict[int, int] = {
+            t.pid: t.restarts for t in self._traces
+        }
         return self
 
     def poll(self) -> None:
@@ -301,6 +358,10 @@ class StreamingInvariantChecker:
             raise RuntimeError("poll() before bind(); attach to a run first")
         self.polls += 1
         for proc in self._traces:
+            if proc.restarts != self._generations[proc.pid]:
+                self._generations[proc.pid] = proc.restarts
+                self._seen_states[proc.pid] = set()
+                self._views.pop(proc.pid, None)
             if proc.r_view is not None and proc.pid not in self._views:
                 self._check_view(proc.pid, proc.r_view)
             seen = self._seen_states[proc.pid]

@@ -82,6 +82,26 @@ def build_config(
     )
 
 
+def cc_core_factory(config: CCConfig, inputs: np.ndarray, traces):
+    """Build the :class:`~repro.runtime.recovery.CoreFactory` for CC runs.
+
+    The returned factory reanimates process ``pid`` either from a durable
+    checkpoint (``data`` is the restored snapshot) or from scratch with
+    its original input (amnesia / late-join, ``data is None``) — always
+    attached to the process's existing trace so one
+    :class:`~repro.runtime.tracing.ProcessTrace` spans all incarnations.
+    """
+
+    def factory(pid: int, data: dict | None) -> CCProcess:
+        if data is not None:
+            return CCProcess.from_checkpoint(config, data, trace=traces[pid])
+        return CCProcess(
+            pid=pid, config=config, input_point=inputs[pid], trace=traces[pid]
+        )
+
+    return factory
+
+
 def run_convex_hull_consensus(
     inputs,
     f: int,
@@ -95,6 +115,7 @@ def run_convex_hull_consensus(
     observer=None,
     link_faults=None,
     reliable_transport: bool = True,
+    checkpoint_store=None,
 ) -> CCResult:
     """Run Algorithm CC on the given inputs under the given adversary.
 
@@ -133,6 +154,13 @@ def run_convex_hull_consensus(
         recovery layer — the delivery-boundary oracle then raises
         :class:`~repro.runtime.channel.ChannelError` on the first
         loss/duplication/reorder the fabric inflicts.
+    checkpoint_store:
+        Optional :class:`~repro.runtime.checkpoint.CheckpointStore`
+        receiving per-process snapshots on every state transition.  A
+        fault plan with durable recoveries auto-provisions an in-memory
+        store when none is given; pass a
+        :class:`~repro.runtime.checkpoint.DiskCheckpointStore` for
+        crash-the-whole-harness durability.
 
     Returns a :class:`CCResult`; raises
     :class:`~repro.core.algorithm_cc.EmptyInitialPolytopeError` if the
@@ -161,6 +189,9 @@ def run_convex_hull_consensus(
     if observer is not None:
         observer.bind(traces, plan, config)
         on_deliver = observer.poll
+    factory = (
+        cc_core_factory(config, pts, traces) if plan.recoveries else None
+    )
     report = run_simulation(
         cores,
         fault_plan=plan,
@@ -168,6 +199,8 @@ def run_convex_hull_consensus(
         on_deliver=on_deliver,
         link_faults=link_faults,
         reliable_transport=reliable_transport,
+        checkpoint_store=checkpoint_store,
+        core_factory=factory,
     )
 
     trace = ExecutionTrace(

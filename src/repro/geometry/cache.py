@@ -113,6 +113,17 @@ class PerfCounters:
     partition_heals: int = 0
     link_drops: int = 0
     link_dups: int = 0
+    # Crash-recovery counters (repro.runtime.checkpoint / .recovery):
+    # checkpoint traffic, restore outcomes (a corruption degrades a
+    # durable recovery to amnesia), reanimations per durability mode,
+    # and application frames consumed while the receiver was crashed
+    # (acked by the transport infrastructure, never delivered upward).
+    checkpoint_saves: int = 0
+    checkpoint_restores: int = 0
+    checkpoint_corruptions: int = 0
+    process_recoveries: int = 0
+    recovery_restarts: int = 0
+    crashed_app_drops: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

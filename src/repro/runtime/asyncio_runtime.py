@@ -90,6 +90,10 @@ class _AsyncRuntime:
         self._quiescent = asyncio.Event()
         self._quiescent.set()
         self.delivered = 0
+        #: Crash-recovery hooks, wired by run_asyncio_simulation when the
+        #: fault plan schedules revivals (None otherwise — historical path).
+        self._recovery = None
+        self._parked: dict[int, list[tuple[Payload, int]]] = {}
 
     def enqueue(self, src: int, dst: int, payload: Payload) -> None:
         self._in_flight += 1
@@ -189,15 +193,39 @@ class _AsyncRuntime:
             if seq < expected:
                 # The surviving copy of a duplicated frame: suppressed at
                 # the delivery boundary, exactly like the transport layer.
+                # The dedup state is runtime-owned, so it survives a
+                # revival of the receiving process unchanged.
                 PERF.dup_drops += 1
                 self.settle_one()
                 continue
             self._expected[link] = seq + 1
+            if (
+                shell.crashed
+                and self._recovery is not None
+                and self._recovery.will_recover(shell.pid)
+            ):
+                # Park for the revival instead of consuming silently: the
+                # channel retired the message, nobody will resend it.
+                self._parked.setdefault(shell.pid, []).append((payload, src))
+                self.settle_one()
+                continue
             try:
                 shell.receive(payload, src)
             finally:
                 self.delivered += 1
                 self.settle_one()
+            if self._recovery is not None:
+                if shell.crashed:
+                    self._recovery.note_crash(shell, self.delivered)
+                for pid in self._recovery.due(self.delivered):
+                    self._revive(pid)
+
+    def _revive(self, pid: int) -> None:
+        """Execute one revival, then replay its parked messages."""
+        shell = self._recovery.revive(pid, self.delivered)
+        for payload, src in self._parked.pop(pid, []):
+            shell.receive(payload, src)
+            self.delivered += 1
 
     async def run(self, shells: list[ProcessShell], timeout: float) -> None:
         for src in range(self.n):
@@ -214,12 +242,25 @@ class _AsyncRuntime:
         try:
             for shell in shells:
                 shell.start()
+            if self._recovery is not None:
+                for shell in shells:
+                    if shell.crashed:
+                        self._recovery.note_crash(shell, self.delivered)
             await asyncio.wait_for(self._quiescent.wait(), timeout=timeout)
             # Quiescence can be momentary when a handler is about to emit;
             # confirm it is stable by yielding and re-checking.
             while True:
                 await asyncio.sleep(0)
                 if self._in_flight == 0:
+                    if (
+                        self._recovery is not None
+                        and self._recovery.has_pending
+                    ):
+                        # Stable quiescence with revivals pending: fire
+                        # the earliest one (the quiescence rule) and keep
+                        # running — its restart may emit new messages.
+                        self._revive(self._recovery.pop_earliest())
+                        continue
                     break
                 await asyncio.wait_for(self._quiescent.wait(), timeout=timeout)
         except asyncio.TimeoutError as exc:
@@ -243,6 +284,8 @@ def run_asyncio_simulation(
     link_faults: LinkFaultPlan | None = None,
     reliable_transport: bool = True,
     step_seconds: float | None = None,
+    checkpoint_store=None,
+    core_factory=None,
 ) -> SimulationReport:
     """Drive the cores on the asyncio runtime until quiescence.
 
@@ -268,17 +311,34 @@ def run_asyncio_simulation(
         step_seconds=step_seconds,
     )
     transport = _AsyncTransport(n, runtime)
+    from .recovery import RecoveryManager, make_recovery_setup
+
+    store = make_recovery_setup(plan, checkpoint_store, core_factory)
     shells = [
-        ProcessShell(core, transport, crash_spec=plan.crash_spec(core.pid))
+        ProcessShell(
+            core,
+            transport,
+            crash_spec=plan.crash_spec(core.pid),
+            checkpoint_store=store,
+        )
         for core in cores
     ]
+    manager = (
+        RecoveryManager(plan, shells, core_factory=core_factory, store=store)
+        if plan.recoveries
+        else None
+    )
+    runtime._recovery = manager
 
     perf_before = PERF.snapshot()
     asyncio.run(runtime.run(shells, timeout))
 
     decided = [s.pid for s in shells if s.done]
     crashed = [s.pid for s in shells if s.crashed]
-    undecided_alive = [s.pid for s in shells if s.alive and not s.done]
+    undecided_alive = [
+        s.pid for s in shells
+        if s.alive and not s.done and not s.ever_crashed
+    ]
     if require_all_fault_free_decide and undecided_alive:
         raise SimulationError(
             f"non-crashed processes ended undecided: {undecided_alive}"
@@ -296,6 +356,7 @@ def run_asyncio_simulation(
         crashed=crashed,
         undecided_alive=undecided_alive,
         perf_counters=PERF.diff(perf_before),
+        recovered=list(manager.revived) if manager is not None else [],
     )
 
 
@@ -311,9 +372,10 @@ def run_asyncio_consensus(
     link_faults: LinkFaultPlan | None = None,
     step_seconds: float | None = None,
     timeout: float = 120.0,
+    checkpoint_store=None,
 ):
     """Full Algorithm CC run on the asyncio runtime; returns a CCResult."""
-    from ..core.runner import CCResult, build_config
+    from ..core.runner import CCResult, build_config, cc_core_factory
     from ..core.algorithm_cc import CCProcess
     from .tracing import ExecutionTrace, ProcessTrace
 
@@ -327,6 +389,9 @@ def run_asyncio_consensus(
         CCProcess(pid=i, config=config, input_point=arr[i], trace=traces[i])
         for i in range(config.n)
     ]
+    factory = (
+        cc_core_factory(config, arr, traces) if plan.recoveries else None
+    )
     report = run_asyncio_simulation(
         cores,
         fault_plan=plan,
@@ -335,6 +400,8 @@ def run_asyncio_consensus(
         link_faults=link_faults,
         step_seconds=step_seconds,
         timeout=timeout,
+        checkpoint_store=checkpoint_store,
+        core_factory=factory,
     )
     trace = ExecutionTrace(
         n=config.n,

@@ -16,6 +16,14 @@ them have incorrect inputs (all of them, in this model; the class still
 tracks the flag so the crash-with-*correct*-inputs variant mentioned in the
 paper's introduction can be expressed by experiments).
 
+The crash-stop model extends to **crash-recovery**: a crashed process may
+carry a :class:`RecoverySpec` and restart ``recover_at`` delivery steps
+after its crash, in one of three durability modes (``durable`` — restore
+from checkpoint, ``amnesia`` — rejoin with only the initial input,
+``late-join`` — rejoin with nothing).  ``FaultPlan.validate`` rejects
+incoherent schedules: recoveries without a crash spec, or a recovery at
+or before the crash instant.
+
 Beyond process faults, this module also declares **link faults** — the
 loss, duplication, delay/reorder, and partition behaviour of the
 :class:`~repro.runtime.transport.LossyFabric`.  The paper *postulates*
@@ -52,6 +60,54 @@ class CrashSpec:
             raise ValueError("after_sends must be >= 0")
 
 
+# Durability modes of a recovering process (see docs/FAULT_MODEL.md).
+DURABLE = "durable"
+AMNESIA = "amnesia"
+LATE_JOIN = "late-join"
+
+DURABILITY_MODES = (DURABLE, AMNESIA, LATE_JOIN)
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Recovery trigger for one *crashed* process — the crash-recovery axis.
+
+    The paper's model is crash-stop; a recovery spec extends it: a process
+    with both a :class:`CrashSpec` and a :class:`RecoverySpec` restarts
+    ``recover_at`` application-level delivery steps after its crash fired
+    (>= 1, so a recovery strictly follows its crash; if the system
+    quiesces first, the runtime fires the pending recovery immediately —
+    an asynchronous system cannot distinguish a delayed restart).
+
+    ``durability`` selects what the process comes back with:
+
+    ``durable``
+        restore protocol state from its latest checkpoint (missing or
+        corrupt checkpoint degrades to amnesia);
+    ``amnesia``
+        rejoin with the initial input only and re-run the protocol from
+        the top (the restart re-broadcasts — the equivocation-lite case);
+    ``late-join``
+        rejoin with no input: a passive listener that answers nothing it
+        does not know and may never decide.
+    """
+
+    recover_at: int
+    durability: str = DURABLE
+
+    def __post_init__(self) -> None:
+        if self.recover_at < 1:
+            raise ValueError(
+                "recover_at must be >= 1 (a process cannot recover before "
+                "or at the instant of its crash)"
+            )
+        if self.durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, "
+                f"got {self.durability!r}"
+            )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Which processes are faulty, when they crash, whose inputs are wrong.
@@ -67,6 +123,7 @@ class FaultPlan:
     faulty: frozenset[int] = frozenset()
     crashes: dict[int, CrashSpec] = field(default_factory=dict)
     incorrect_inputs: frozenset[int] | None = None
+    recoveries: dict[int, RecoverySpec] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -98,6 +155,18 @@ class FaultPlan:
                     f"crash spec for process {pid} is {type(spec).__name__}, "
                     f"expected CrashSpec"
                 )
+        never_crashed = set(self.recoveries) - set(self.crashes)
+        if never_crashed:
+            raise ValueError(
+                f"recovery specs for processes that never crash: "
+                f"{sorted(never_crashed)} (a recovery requires a crash spec)"
+            )
+        for pid, rspec in self.recoveries.items():
+            if not isinstance(rspec, RecoverySpec):
+                raise ValueError(
+                    f"recovery spec for process {pid} is "
+                    f"{type(rspec).__name__}, expected RecoverySpec"
+                )
         if n is not None:
             out_of_range = sorted(
                 pid for pid in self.faulty if not 0 <= pid < n
@@ -119,6 +188,16 @@ class FaultPlan:
     def crash_spec(self, pid: int) -> CrashSpec | None:
         return self.crashes.get(pid)
 
+    def recovery_spec(self, pid: int) -> RecoverySpec | None:
+        return self.recoveries.get(pid)
+
+    @property
+    def has_durable_recovery(self) -> bool:
+        """True when any recovering process needs a checkpoint to restore."""
+        return any(
+            spec.durability == DURABLE for spec in self.recoveries.values()
+        )
+
     @staticmethod
     def none() -> "FaultPlan":
         """The fault-free plan."""
@@ -132,6 +211,29 @@ class FaultPlan:
             for pid, (r, k) in specs.items()
         }
         return FaultPlan(faulty=frozenset(specs), crashes=crashes)
+
+    @staticmethod
+    def crash_recover(
+        specs: dict[int, tuple[int, int, int]],
+        *,
+        durability: str = DURABLE,
+    ) -> "FaultPlan":
+        """Convenience: ``{pid: (round, after_sends, recover_at)}``.
+
+        Every pid crashes per its spec and recovers ``recover_at``
+        delivery steps later with the given ``durability`` mode.
+        """
+        crashes = {
+            pid: CrashSpec(round_index=r, after_sends=k)
+            for pid, (r, k, _) in specs.items()
+        }
+        recoveries = {
+            pid: RecoverySpec(recover_at=at, durability=durability)
+            for pid, (_, _, at) in specs.items()
+        }
+        return FaultPlan(
+            faulty=frozenset(specs), crashes=crashes, recoveries=recoveries
+        )
 
     @staticmethod
     def silent_faulty(pids) -> "FaultPlan":

@@ -33,21 +33,38 @@ def run_lockstep_simulation(
     *,
     max_phases: int | None = None,
     require_all_fault_free_decide: bool = True,
+    checkpoint_store=None,
+    core_factory=None,
 ) -> SimulationReport:
     """Drive the cores in synchronous delivery phases.
 
     Each phase snapshots the set of pending envelopes and delivers all of
     them (in (src, dst, seq) order) before considering messages sent
     during the phase.  Mirrors :func:`repro.runtime.simulator.run_simulation`'s
-    contract and report format.
+    contract and report format, including the crash-recovery extension
+    (``checkpoint_store`` / ``core_factory``; revivals fire between
+    phases once their ``recover_at`` delivery step has passed).
     """
     n = len(cores)
-    plan = fault_plan or FaultPlan.none()
+    plan = (fault_plan or FaultPlan.none()).validate(n)
     network = Network(n)
+    from .recovery import RecoveryManager, make_recovery_setup
+
+    store = make_recovery_setup(plan, checkpoint_store, core_factory)
     shells = [
-        ProcessShell(core, network, crash_spec=plan.crash_spec(core.pid))
+        ProcessShell(
+            core,
+            network,
+            crash_spec=plan.crash_spec(core.pid),
+            checkpoint_store=store,
+        )
         for core in cores
     ]
+    manager = (
+        RecoveryManager(plan, shells, core_factory=core_factory, store=store)
+        if plan.recoveries
+        else None
+    )
     if max_phases is None:
         # Stable vector quiesces in O(n) phases; each protocol round takes
         # O(1) phases in lockstep.  The constant is a defensive margin.
@@ -60,8 +77,19 @@ def run_lockstep_simulation(
         max_phases = 10 * (n + t_end) + 100
 
     perf_before = PERF.snapshot()
+    noted: set[int] = set()
+
+    def note_crashes(step: int) -> None:
+        if manager is None:
+            return
+        for shell in shells:
+            if shell.crashed and shell.pid not in noted:
+                noted.add(shell.pid)
+                manager.note_crash(shell, step)
+
     for shell in shells:
         shell.start()
+    note_crashes(0)
 
     steps = 0
     phases = 0
@@ -69,6 +97,11 @@ def run_lockstep_simulation(
         alive = {shell.pid for shell in shells if shell.alive}
         heads = network.pending_heads(alive)
         if not heads:
+            if manager is not None and manager.has_pending:
+                # Quiescence with revivals pending: fire the earliest one
+                # now (the quiescence rule), then resume phasing.
+                manager.revive(manager.pop_earliest(), steps)
+                continue
             break
         phases += 1
         if phases > max_phases:
@@ -92,10 +125,19 @@ def run_lockstep_simulation(
                 network.deliver(env)
                 shells[dst].receive(env.payload, env.src)
                 steps += 1
+        note_crashes(steps)
+        if manager is not None:
+            # Revivals fire between phases — a restarted process joins
+            # the next wave, the most synchronous reading of recover_at.
+            for pid in manager.due(steps):
+                manager.revive(pid, steps)
 
     decided = [s.pid for s in shells if s.done]
     crashed = [s.pid for s in shells if s.crashed]
-    undecided_alive = [s.pid for s in shells if s.alive and not s.done]
+    undecided_alive = [
+        s.pid for s in shells
+        if s.alive and not s.done and not s.ever_crashed
+    ]
     if require_all_fault_free_decide and undecided_alive:
         raise SimulationError(
             f"non-crashed processes ended undecided: {undecided_alive}"
@@ -113,6 +155,7 @@ def run_lockstep_simulation(
         crashed=crashed,
         undecided_alive=undecided_alive,
         perf_counters=PERF.diff(perf_before),
+        recovered=list(manager.revived) if manager is not None else [],
     )
 
 
@@ -123,12 +166,13 @@ def run_lockstep_consensus(
     *,
     fault_plan: FaultPlan | None = None,
     input_bounds: tuple[float, float] | None = None,
+    checkpoint_store=None,
 ):
     """Full Algorithm CC run in lockstep; returns a CCResult."""
     import numpy as np
 
     from ..core.algorithm_cc import CCProcess
-    from ..core.runner import CCResult, build_config
+    from ..core.runner import CCResult, build_config, cc_core_factory
     from .tracing import ExecutionTrace, ProcessTrace
 
     arr = np.asarray(inputs, dtype=float)
@@ -141,7 +185,15 @@ def run_lockstep_consensus(
         CCProcess(pid=i, config=config, input_point=arr[i], trace=traces[i])
         for i in range(config.n)
     ]
-    report = run_lockstep_simulation(cores, fault_plan=plan)
+    factory = (
+        cc_core_factory(config, arr, traces) if plan.recoveries else None
+    )
+    report = run_lockstep_simulation(
+        cores,
+        fault_plan=plan,
+        checkpoint_store=checkpoint_store,
+        core_factory=factory,
+    )
     trace = ExecutionTrace(
         n=config.n,
         f=config.f,

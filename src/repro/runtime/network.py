@@ -124,6 +124,23 @@ class Network:
             key for key in self._ready_sorted if key[1] != dst
         ]
 
+    def mark_recovered(self, dst: int) -> None:
+        """Undo :meth:`mark_crashed`: queued inbound heads become ready again.
+
+        The channels themselves were never torn down — messages sent to
+        the crashed process stayed queued (reliability) and their
+        per-channel sequence numbers kept advancing, so FIFO exactly-once
+        continues seamlessly across the restart: delivery resumes at the
+        exact head the crash interrupted.
+        """
+        if dst not in self._crashed_dst:
+            return
+        self._crashed_dst.discard(dst)
+        for key in self._nonempty:
+            if key[1] == dst and key not in self._ready:
+                self._ready.add(key)
+                insort(self._ready_sorted, key)
+
     def ready_heads(self) -> list[Envelope]:
         """Deliverable channel heads, in deterministic (src, dst) order.
 

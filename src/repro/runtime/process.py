@@ -68,12 +68,15 @@ class ProcessShell:
         core: ProtocolCore,
         network: Network,
         crash_spec: CrashSpec | None = None,
+        checkpoint_store=None,
     ):
         self.core = core
         self.network = network
         self.crash_spec = crash_spec
+        self.checkpoint_store = checkpoint_store
         self.crashed = False
         self.crash_fired_round: int | None = None
+        self.recovered = False
         # Execution-position send counts (used by crash triggers: "crash in
         # round r after k sends" refers to where the process *is*).
         self.sends_in_round: Counter[int] = Counter()
@@ -94,16 +97,69 @@ class ProcessShell:
     def alive(self) -> bool:
         return not self.crashed
 
+    @property
+    def ever_crashed(self) -> bool:
+        """True once the crash spec has fired, even after a later revival."""
+        return self.crash_fired_round is not None
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self.crashed:
             return
-        self._dispatch(self.core.on_start())
+        out = self.core.on_start()
+        self._save_checkpoint()
+        self._dispatch(out)
 
     def receive(self, payload: Payload, src: int) -> None:
         if self.crashed:
             return
-        self._dispatch(self.core.on_message(payload, src))
+        out = self.core.on_message(payload, src)
+        self._save_checkpoint()
+        self._dispatch(out)
+
+    # ------------------------------------------------------------------
+    def revive(self, core: ProtocolCore | None = None, *, restart: bool = False) -> None:
+        """Reanimate a crashed shell (crash-recovery fault model).
+
+        ``core`` replaces the protocol core — a durable restore passes a
+        core rebuilt from the latest checkpoint, amnesia/late-join pass a
+        fresh one.  The crash spec is consumed: a recovered process does
+        not re-crash (one crash per process, matching the paper's crash
+        count ``f``), but ``crash_fired_round`` is kept so the ``F[t]``
+        bookkeeping still sees the crash.  With ``restart`` the new core's
+        ``on_start`` runs (amnesia re-broadcasts from scratch); a durable
+        restore resumes mid-protocol without it.
+        """
+        if not self.crashed:
+            raise RuntimeError(f"process {self.pid} is not crashed")
+        self.crashed = False
+        self.crash_spec = None
+        self.recovered = True
+        if core is not None:
+            self.core = core
+        if restart:
+            out = self.core.on_start()
+            self._save_checkpoint()
+            self._dispatch(out)
+
+    # ------------------------------------------------------------------
+    def _save_checkpoint(self) -> None:
+        """Persist the core's state after a transition, before dispatch.
+
+        Write-ahead discipline: the snapshot lands before any message of
+        the transition is sent, so a crash mid-broadcast restores to the
+        *post*-transition state — the recovered process never re-consumes
+        a delivery the channel already retired.  No-op (and the historical
+        no-recovery path is untouched) unless a store is configured and
+        the core supports checkpointing.
+        """
+        store = self.checkpoint_store
+        if store is None:
+            return
+        checkpoint = getattr(self.core, "checkpoint", None)
+        if checkpoint is None:
+            return
+        store.save(self.pid, checkpoint())
 
     # ------------------------------------------------------------------
     def _dispatch(self, outgoing: list[Outgoing]) -> None:

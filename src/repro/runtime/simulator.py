@@ -50,6 +50,9 @@ class SimulationReport:
     crashed: list[int]
     undecided_alive: list[int]
     perf_counters: dict[str, int] = field(default_factory=dict)
+    #: Pids reanimated by the crash-recovery machinery, in revival order.
+    #: Empty for crash-stop plans (the historical report is unchanged).
+    recovered: list[int] = field(default_factory=list)
     #: Application-level delivery sequence as ``(src, dst)`` pairs.
     #: Populated only by transport runs (:mod:`repro.runtime.transport`),
     #: where it is the reliable-network schedule the lossy execution is
@@ -68,6 +71,8 @@ def run_simulation(
     on_deliver: Callable[[], None] | None = None,
     link_faults=None,
     reliable_transport: bool = True,
+    checkpoint_store=None,
+    core_factory=None,
 ) -> SimulationReport:
     """Drive the cores to quiescence under the given adversary.
 
@@ -91,6 +96,13 @@ def run_simulation(
     delivery-boundary oracle is expected to trip.  ``link_faults=None``
     with the default ``reliable_transport=True`` is the historical path,
     bit-for-bit unchanged.
+
+    ``checkpoint_store`` / ``core_factory`` serve the crash-recovery
+    extension: shells snapshot their cores into the store on every
+    transition, and a fault plan with recoveries revives processes
+    through a :class:`~repro.runtime.recovery.RecoveryManager` built on
+    the factory.  Both default to off (``None``) — crash-stop runs never
+    construct any of the machinery.
     """
     if link_faults is not None or not reliable_transport:
         from .transport import run_transport_simulation
@@ -104,15 +116,33 @@ def run_simulation(
             max_steps=max_steps,
             require_all_fault_free_decide=require_all_fault_free_decide,
             on_deliver=on_deliver,
+            checkpoint_store=checkpoint_store,
+            core_factory=core_factory,
         )
     n = len(cores)
     plan = (fault_plan or FaultPlan.none()).validate(n)
     sched = scheduler or default_scheduler()
     network = Network(n)
+    from .recovery import RecoveryManager, make_recovery_setup
+
+    store = make_recovery_setup(plan, checkpoint_store, core_factory)
     shells = [
-        ProcessShell(core, network, crash_spec=plan.crash_spec(core.pid))
+        ProcessShell(
+            core,
+            network,
+            crash_spec=plan.crash_spec(core.pid),
+            checkpoint_store=store,
+        )
         for core in cores
     ]
+    manager = (
+        RecoveryManager(
+            plan, shells, core_factory=core_factory, store=store,
+            network=network,
+        )
+        if plan.recoveries
+        else None
+    )
     if max_steps is None:
         # Generous quiescence bound: stable vector is O(n^3) messages and
         # each of the t_end rounds is O(n^2); the constant absorbs echoes.
@@ -121,10 +151,16 @@ def run_simulation(
     perf_before = PERF.snapshot()
     alive = {shell.pid for shell in shells}
 
-    def note_crash(shell: ProcessShell) -> None:
+    def note_crash(shell: ProcessShell, step: int) -> None:
         if shell.crashed and shell.pid in alive:
             alive.discard(shell.pid)
             network.mark_crashed(shell.pid)
+            if manager is not None:
+                manager.note_crash(shell, step)
+
+    def revive(pid: int, step: int) -> None:
+        manager.revive(pid, step)
+        alive.add(pid)
 
     for shell in shells:
         shell.start()
@@ -132,12 +168,20 @@ def run_simulation(
     # into the ready-set before the first delivery, exactly where the old
     # per-iteration liveness rescan would first have observed them.
     for shell in shells:
-        note_crash(shell)
+        note_crash(shell, 0)
     if on_deliver is not None:
         on_deliver()
 
     steps = 0
-    while network.has_ready:
+    while True:
+        if not network.has_ready:
+            if manager is not None and manager.has_pending:
+                # Quiescence with revivals pending: an asynchronous
+                # system cannot distinguish a delayed restart, so fire
+                # the earliest one now instead of deadlocking.
+                revive(manager.pop_earliest(), steps)
+                continue
+            break
         # Lazy view: candidate order matches the eager ready_heads()
         # snapshot exactly, but only the heads the scheduler actually
         # inspects are resolved (O(1) per delivery for the default
@@ -155,14 +199,18 @@ def run_simulation(
         receiver.receive(env.payload, env.src)
         # Only the shell that just dispatched can have crashed: crash
         # specs fire while *sending*, and sends happen inside receive().
-        note_crash(receiver)
+        note_crash(receiver, steps)
+        if manager is not None:
+            for pid in manager.due(steps):
+                revive(pid, steps)
         if on_deliver is not None:
             on_deliver()
 
     decided = [s.pid for s in shells if s.done]
     crashed = [s.pid for s in shells if s.crashed]
     undecided_alive = [
-        s.pid for s in shells if s.alive and not s.done
+        s.pid for s in shells
+        if s.alive and not s.done and not s.ever_crashed
     ]
     if require_all_fault_free_decide and undecided_alive:
         raise SimulationError(
@@ -176,6 +224,7 @@ def run_simulation(
         crashed=crashed,
         undecided_alive=undecided_alive,
         perf_counters=PERF.diff(perf_before),
+        recovered=list(manager.revived) if manager is not None else [],
     )
     # Propagate shell accounting into cores that carry a trace.
     for shell in shells:

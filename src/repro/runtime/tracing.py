@@ -26,7 +26,16 @@ from .messages import InputTuple
 
 @dataclass
 class ProcessTrace:
-    """Observables of a single process across the whole execution."""
+    """Observables of a single process across the whole execution.
+
+    Crash-recovery bookkeeping: ``recovered_at_step`` / ``recovery_
+    durability`` record that (and how) the process was reanimated;
+    ``restarts`` counts protocol restarts (amnesia / late-join — a
+    durable restore continues the same protocol incarnation, so it does
+    not increment); ``pre_recovery_states`` stashes the states each
+    discarded incarnation had computed, one dict per restart, so
+    validity checking still covers every state that ever existed.
+    """
 
     pid: int
     input_point: np.ndarray
@@ -36,6 +45,12 @@ class ProcessTrace:
     sends_in_round: dict[int, int] = field(default_factory=dict)
     crash_fired_round: int | None = None
     decided: bool = False
+    recovered_at_step: int | None = None
+    recovery_durability: str | None = None
+    restarts: int = 0
+    pre_recovery_states: list[dict[int, ConvexPolytope]] = field(
+        default_factory=list
+    )
 
     @property
     def x_multiset(self) -> np.ndarray | None:
@@ -43,6 +58,30 @@ class ProcessTrace:
         if self.r_view is None:
             return None
         return np.array([list(entry.value) for entry in sorted(self.r_view)])
+
+    def note_recovery(self, step: int, durability: str, restarted: bool) -> None:
+        """Record a reanimation; a restart begins a fresh incarnation.
+
+        Durable restores keep the incarnation (states/views continue
+        where the checkpoint left off); amnesia and late-join restarts
+        stash the discarded states and reset the per-incarnation fields
+        so the streaming checker re-checks the new incarnation from
+        scratch.
+        """
+        self.recovered_at_step = step
+        self.recovery_durability = durability
+        if restarted:
+            self.restarts += 1
+            if self.states:
+                self.pre_recovery_states.append(dict(self.states))
+            self.states = {}
+            self.r_view = None
+            self.decided = False
+
+    def all_states(self):
+        """Every recorded state of every incarnation: ``(t, polytope)``."""
+        for states in (*self.pre_recovery_states, self.states):
+            yield from states.items()
 
     def state_at(self, round_index: int) -> ConvexPolytope | None:
         return self.states.get(round_index)
@@ -133,6 +172,24 @@ class ExecutionTrace:
             for pid, poly in self.outputs().items()
             if pid not in self.faulty
         }
+
+    def recovered_outputs(self) -> dict[int, ConvexPolytope]:
+        """Decisions of processes that crashed, recovered, and decided."""
+        return {
+            proc.pid: proc.states[self.t_end]
+            for proc in self.processes
+            if proc.recovered_at_step is not None
+            and proc.decided
+            and self.t_end in proc.states
+        }
+
+    def agreement_outputs(self) -> dict[int, ConvexPolytope]:
+        """The ε-agreement scope: fault-free outputs *plus* every
+        post-recovery decider (any durability mode) — a process that came
+        back and decided must agree with the fault-free decisions."""
+        outputs = self.fault_free_outputs()
+        outputs.update(self.recovered_outputs())
+        return outputs
 
     def common_view(self) -> tuple[InputTuple, ...]:
         """The common view ``Z`` behind the optimality polytope ``I_Z``.

@@ -381,6 +381,72 @@ class TransportNetwork:
         self._boundary_seq[link] = expected + 1
         self.messages_delivered += 1
 
+    def note_crashed_drop(self, frame: Frame) -> None:
+        """Advance the boundary oracle past a frame its receiver slept through.
+
+        Crash-stop semantics on the transport: a frame addressed to a
+        crashed process is consumed and acknowledged by the channel
+        *infrastructure* but never delivered to the application.  The
+        independent boundary counter must still advance — otherwise a
+        later revival of the same endpoint would trip the oracle on the
+        very first legitimate delivery (the latent stall this method
+        fixes).  ``messages_delivered`` deliberately does *not* advance:
+        the application never saw the payload.
+        """
+        link = (frame.src, frame.dst)
+        expected = self._boundary_seq.get(link, 0)
+        if frame.seq != expected:
+            raise ChannelError(
+                f"channel {frame.src}->{frame.dst}: transport retired seq "
+                f"{frame.seq} at a crashed endpoint, expected {expected}"
+            )
+        self._boundary_seq[link] = expected + 1
+        PERF.crashed_app_drops += 1
+
+    # -- checkpointing (crash-recovery support) ----------------------------
+    def checkpoint(self) -> dict:
+        """JSON-safe snapshot of the per-channel transport state.
+
+        Per directed link: the next send sequence number, the cumulative
+        ack (receiver's next expected sequence), the delivery-boundary
+        counter, and a digest of the retransmit queue (the sorted
+        unacknowledged sequence numbers).  Everything a restarted
+        transport endpoint needs to resume seq/ack numbering without
+        violating FIFO exactly-once.
+        """
+        links = (
+            set(self._send_seq) | set(self._expected)
+            | set(self._boundary_seq) | set(self._unacked)
+        )
+        return {
+            "clock": self.fabric.clock,
+            "channels": {
+                f"{src}->{dst}": {
+                    "send_seq": self._send_seq.get((src, dst), 0),
+                    "expected": self._expected.get((src, dst), 0),
+                    "boundary": self._boundary_seq.get((src, dst), 0),
+                    "unacked": sorted(self._unacked.get((src, dst), {})),
+                }
+                for src, dst in sorted(links)
+            },
+        }
+
+    def restore_channels(self, data: dict) -> None:
+        """Resume seq/ack numbering from a :meth:`checkpoint` snapshot.
+
+        Only the counters are restored — queued frames belong to the
+        fabric, and unacknowledged payloads died with the old endpoint
+        (their sequence numbers stay burned, so receivers treat any
+        stale copy as a duplicate).  Used when simulating a whole-node
+        restart in which the transport endpoint itself is rebuilt.
+        """
+        for key, ch in data["channels"].items():
+            src_s, dst_s = key.split("->")
+            link = (int(src_s), int(dst_s))
+            self._send_seq[link] = int(ch["send_seq"])
+            self._expected[link] = int(ch["expected"])
+            self._boundary_seq[link] = int(ch["boundary"])
+
     def _on_ack(self, frame: Frame) -> None:
         # An ack travelling dst -> src acknowledges the data link
         # src -> dst; ``seq`` is cumulative (next expected), so pruning
@@ -476,6 +542,8 @@ def run_transport_simulation(
     rto_base: float = DEFAULT_RTO_BASE,
     require_all_fault_free_decide: bool = True,
     on_deliver: Callable[[], None] | None = None,
+    checkpoint_store=None,
+    core_factory=None,
 ) -> SimulationReport:
     """Drive the cores over a lossy fabric; mirror of ``run_simulation``.
 
@@ -498,10 +566,27 @@ def run_transport_simulation(
         rto_base=rto_base,
         clock_budget=clock_budget,
     )
+    from .recovery import RecoveryManager, make_recovery_setup
+
+    store = make_recovery_setup(plan, checkpoint_store, core_factory)
     shells = [
-        ProcessShell(core, transport, crash_spec=plan.crash_spec(core.pid))
+        ProcessShell(
+            core,
+            transport,
+            crash_spec=plan.crash_spec(core.pid),
+            checkpoint_store=store,
+        )
         for core in cores
     ]
+    manager = (
+        RecoveryManager(plan, shells, core_factory=core_factory, store=store)
+        if plan.recoveries
+        else None
+    )
+    # App frames that reached a crashed-but-recovering endpoint: the
+    # transport acked them (channel infrastructure outlives the process),
+    # so they can never be retransmitted — park them for the revival.
+    parked: dict[int, list[Frame]] = {}
     if max_steps is None:
         # The simulator's quiescence bound, widened for transport
         # overhead: acks roughly double the frame count and loss/dup
@@ -515,6 +600,21 @@ def run_transport_simulation(
     def note_crash(shell: ProcessShell) -> None:
         if shell.crashed and shell.pid in alive:
             alive.discard(shell.pid)
+            if manager is not None:
+                manager.note_crash(shell, len(app_deliveries))
+
+    def revive(pid: int) -> None:
+        """Execute one revival, then replay its parked app frames."""
+        shell = manager.revive(pid, len(app_deliveries))
+        alive.add(pid)
+        if store is not None:
+            store.save("transport", transport.checkpoint())
+        for env in parked.pop(pid, []):
+            transport.deliver_to_app(env)
+            app_deliveries.append((env.src, env.dst))
+            shell.receive(env.payload, env.src)
+            if on_deliver is not None:
+                on_deliver()
 
     for shell in shells:
         shell.start()
@@ -528,6 +628,11 @@ def run_transport_simulation(
         frames = transport.fabric.ready_frames()
         if not frames:
             if not transport.has_work():
+                if manager is not None and manager.has_pending:
+                    # Quiescence with revivals pending: fire the earliest
+                    # (the quiescence rule — see RecoverySpec docs).
+                    revive(manager.pop_earliest())
+                    continue
                 break
             transport.advance_idle()
             continue
@@ -545,19 +650,33 @@ def run_transport_simulation(
             if receiver.crashed:
                 # Old-network semantics: messages addressed to a crashed
                 # process stay undelivered at the application layer (the
-                # transport still acknowledged the frame).
+                # transport still acknowledged the frame).  A recovering
+                # endpoint gets them replayed at revival; a crash-stop
+                # endpoint retires them at the boundary oracle.
+                if manager is not None and manager.will_recover(env.dst):
+                    parked.setdefault(env.dst, []).append(env)
+                else:
+                    transport.note_crashed_drop(env)
                 continue
             transport.deliver_to_app(env)
             app_deliveries.append((env.src, env.dst))
             receiver.receive(env.payload, env.src)
             note_crash(receiver)
+            if manager is not None:
+                for pid in manager.due(len(app_deliveries)):
+                    revive(pid)
             if on_deliver is not None:
                 on_deliver()
+        if store is not None:
+            store.save("transport", transport.checkpoint())
         transport.pump()
 
     decided = [s.pid for s in shells if s.done]
     crashed = [s.pid for s in shells if s.crashed]
-    undecided_alive = [s.pid for s in shells if s.alive and not s.done]
+    undecided_alive = [
+        s.pid for s in shells
+        if s.alive and not s.done and not s.ever_crashed
+    ]
     if require_all_fault_free_decide and undecided_alive:
         raise SimulationError(
             f"non-crashed processes ended undecided: {undecided_alive}"
@@ -571,6 +690,7 @@ def run_transport_simulation(
         undecided_alive=undecided_alive,
         perf_counters=PERF.diff(perf_before),
         app_deliveries=tuple(app_deliveries),
+        recovered=list(manager.revived) if manager is not None else [],
     )
     for shell in shells:
         trace = getattr(shell.core, "trace", None)

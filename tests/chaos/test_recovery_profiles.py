@@ -1,0 +1,155 @@
+"""Recovery chaos profiles: sampling, triage, shrinking, bundle replay."""
+
+import numpy as np
+
+from repro.chaos.generator import (
+    EXPECTED_VIOLATION_LABELS,
+    LABEL_RECOVERY_AMNESIA,
+    LABEL_RECOVERY_LEGAL,
+    LABEL_RECOVERY_STORM,
+    RECOVERY_LABELS,
+    FuzzConfig,
+    build_plan,
+    generate_case,
+)
+from repro.chaos.runner import outcome_fingerprint, replay_case, run_case
+from repro.chaos.shrinker import _drop_pid, _with_recoveries
+from repro.core.config import required_processes
+from repro.runtime.faults import AMNESIA, DURABLE, DURABILITY_MODES
+
+
+class TestSampling:
+    def test_generation_is_deterministic(self):
+        config = FuzzConfig(profile=LABEL_RECOVERY_LEGAL)
+        assert generate_case(config, 11) == generate_case(config, 11)
+
+    def test_every_faulty_pid_crashes_and_recovers(self):
+        for profile in RECOVERY_LABELS:
+            config = FuzzConfig(profile=profile)
+            for seed in range(8):
+                case = generate_case(config, seed)
+                plan = build_plan(case)
+                assert set(plan.crashes) == set(plan.faulty), (profile, seed)
+                assert set(plan.recoveries) == set(plan.faulty), (profile, seed)
+                for spec in plan.recoveries.values():
+                    assert 1 <= spec.recover_at <= 50
+                    assert spec.durability in DURABILITY_MODES
+
+    def test_durability_matches_profile(self):
+        for seed in range(8):
+            legal = build_plan(
+                generate_case(FuzzConfig(profile=LABEL_RECOVERY_LEGAL), seed)
+            )
+            assert all(
+                s.durability == DURABLE for s in legal.recoveries.values()
+            )
+            amnesia = build_plan(
+                generate_case(FuzzConfig(profile=LABEL_RECOVERY_AMNESIA), seed)
+            )
+            assert all(
+                s.durability == AMNESIA for s in amnesia.recoveries.values()
+            )
+
+    def test_recovery_cases_stay_at_legal_n(self):
+        for profile in RECOVERY_LABELS:
+            for seed in range(8):
+                case = generate_case(FuzzConfig(profile=profile), seed)
+                assert case.n >= required_processes(case.d, case.f)
+                assert case.enforce_resilience
+
+    def test_legacy_profiles_sample_no_recoveries(self):
+        # The recovery draws are appended after every legacy draw, so the
+        # historical profiles regenerate their exact original cases —
+        # in particular, never a recovery.
+        for profile in ("legal", "below-bound", "beyond-bound", "lossy"):
+            for seed in range(6):
+                case = generate_case(FuzzConfig(profile=profile), seed)
+                assert not case.fault_plan.get("recoveries")
+
+    def test_triage_labels(self):
+        assert LABEL_RECOVERY_LEGAL not in EXPECTED_VIOLATION_LABELS
+        assert LABEL_RECOVERY_AMNESIA in EXPECTED_VIOLATION_LABELS
+        assert LABEL_RECOVERY_STORM in EXPECTED_VIOLATION_LABELS
+
+
+class TestExecution:
+    def test_recovery_legal_slice_has_zero_violations(self):
+        # The in-repo slice of the acceptance campaign: durable recovery
+        # at legal (n, f) must uphold every paper property.
+        config = FuzzConfig(profile=LABEL_RECOVERY_LEGAL)
+        for seed in range(10):
+            outcome = run_case(generate_case(config, seed))
+            assert outcome.status == "ok", (seed, outcome.violation)
+
+    def test_durable_replay_is_fingerprint_identical(self):
+        # The acceptance replay test: re-running a recovery case under
+        # its recorded (plan, schedule) reproduces the execution
+        # byte-for-byte — same schedule, same counters, same verdict.
+        config = FuzzConfig(profile=LABEL_RECOVERY_LEGAL)
+        case = generate_case(config, 3)
+        recorded = run_case(case)
+        assert recorded.status == "ok"
+        replayed = replay_case(case, case.fault_plan, recorded.schedule)
+        assert outcome_fingerprint(replayed) == outcome_fingerprint(recorded)
+
+    def test_durable_replay_decisions_are_byte_identical(self):
+        from repro.chaos.generator import build_inputs, build_scheduler
+        from repro.core.runner import run_convex_hull_consensus
+
+        case = generate_case(FuzzConfig(profile=LABEL_RECOVERY_LEGAL), 3)
+        inputs, bounds = build_inputs(case)
+
+        def execute():
+            return run_convex_hull_consensus(
+                inputs,
+                case.f,
+                case.eps,
+                fault_plan=build_plan(case),
+                scheduler=build_scheduler(case),
+                seed=case.scheduler_seed,
+                input_bounds=bounds,
+            )
+
+        first, second = execute(), execute()
+        assert sorted(first.trace.outputs()) == sorted(second.trace.outputs())
+        for pid, poly in first.trace.outputs().items():
+            np.testing.assert_array_equal(
+                poly.vertices, second.trace.outputs()[pid].vertices
+            )
+
+
+class TestShrinkerThreading:
+    def test_drop_pid_also_drops_its_recovery(self):
+        plan_obj = {
+            "faulty": [1, 4],
+            "crashes": {"1": [0, 0], "4": [1, 2]},
+            "incorrect_inputs": None,
+            "recoveries": {"1": [5, "durable"], "4": [9, "amnesia"]},
+        }
+        out = _drop_pid(plan_obj, 4)
+        assert out["faulty"] == [1]
+        assert out["crashes"] == {"1": [0, 0]}
+        assert out["recoveries"] == {"1": [5, "durable"]}
+
+    def test_with_recoveries_replaces_only_recoveries(self):
+        plan_obj = {
+            "faulty": [4],
+            "crashes": {"4": [1, 2]},
+            "incorrect_inputs": None,
+            "recoveries": {"4": [9, "amnesia"]},
+        }
+        out = _with_recoveries(plan_obj, {})
+        assert out["recoveries"] == {}
+        assert out["crashes"] == plan_obj["crashes"]
+
+    def test_shrunk_plan_objs_rebuild_as_fault_plans(self):
+        from repro.analysis.serialization import fault_plan_from_obj
+
+        case = generate_case(FuzzConfig(profile=LABEL_RECOVERY_STORM), 5)
+        plan_obj = dict(case.fault_plan)
+        rebuilt = fault_plan_from_obj(plan_obj)
+        assert rebuilt.recoveries
+        for pid in sorted(rebuilt.faulty):
+            reduced = fault_plan_from_obj(_drop_pid(plan_obj, pid))
+            assert pid not in reduced.recoveries
+            reduced.validate(case.n)

@@ -1,12 +1,19 @@
 """Systematic crash/scheduler sweep: the paper's properties must hold in
-every cell of the (crash timing) x (scheduler) matrix."""
+every cell of the (crash timing) x (scheduler) x (link faults) matrix.
+
+The link-fault axis runs every crash cell both on the structural
+reliable network and over the lossy fabric + reliable transport, so the
+PR-5 channel machinery and the crash machinery are exercised together:
+a crash mid-broadcast must behave identically whether the undelivered
+messages sit in a structural channel or in a retransmit queue.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.invariants import check_all
 from repro.core.runner import run_convex_hull_consensus
-from repro.runtime.faults import FaultPlan
+from repro.runtime.faults import FaultPlan, LinkFaultPlan, LinkFaultSpec
 from repro.runtime.scheduler import (
     BurstyScheduler,
     FifoFairScheduler,
@@ -30,6 +37,14 @@ CRASH_PLANS = {
     "round2": FaultPlan.crash_at({4: (2, 3)}),
 }
 
+LINK_PLANS = {
+    "reliable": lambda: None,
+    "lossy": lambda: LinkFaultPlan(
+        default=LinkFaultSpec(loss=0.15, dup=0.1, delay=2, reorder=0.2),
+        seed=9,
+    ),
+}
+
 
 @pytest.fixture(scope="module")
 def inputs():
@@ -39,9 +54,10 @@ def inputs():
     return pts
 
 
+@pytest.mark.parametrize("link_name", sorted(LINK_PLANS))
 @pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
 @pytest.mark.parametrize("plan_name", sorted(CRASH_PLANS))
-def test_cell(inputs, sched_name, plan_name):
+def test_cell(inputs, sched_name, plan_name, link_name):
     result = run_convex_hull_consensus(
         inputs,
         1,
@@ -49,9 +65,10 @@ def test_cell(inputs, sched_name, plan_name):
         fault_plan=CRASH_PLANS[plan_name],
         scheduler=SCHEDULERS[sched_name](),
         input_bounds=(-1.0, 1.0),
+        link_faults=LINK_PLANS[link_name](),
     )
     report = check_all(result.trace)
-    assert report.ok, (sched_name, plan_name)
+    assert report.ok, (sched_name, plan_name, link_name)
 
 
 def test_crash_reduces_decided_count(inputs):
@@ -61,3 +78,35 @@ def test_crash_reduces_decided_count(inputs):
     )
     assert len(baseline.report.decided) == 5
     assert len(crashed.report.decided) == 4
+
+
+def test_crashed_endpoint_never_delivers_app_frames(inputs):
+    # PR-5 keeps a crashed process's transport endpoint alive as channel
+    # *infrastructure*: frames addressed to it are consumed and retired
+    # at the channel layer (so retransmission storms stop and the run
+    # terminates), but the dead application never acknowledges or
+    # processes them.  Regression guards: the drops are counted, the
+    # application-level delivery count excludes them, and the crashed
+    # process's protocol state stays frozen at its crash point.
+    from repro.geometry.cache import PERF
+
+    drops0 = PERF.crashed_app_drops
+    result = run_convex_hull_consensus(
+        inputs,
+        1,
+        0.2,
+        fault_plan=CRASH_PLANS["round0-mid-broadcast"],
+        seed=1,
+        input_bounds=(-1.0, 1.0),
+        link_faults=LINK_PLANS["lossy"](),
+    )
+    assert PERF.crashed_app_drops > drops0  # frames were retired, not acked
+    # The channel retired those frames without the app seeing them.
+    assert result.report.messages_delivered < result.report.messages_sent
+    proc = result.trace.processes[4]
+    assert 4 not in result.report.decided
+    assert not proc.decided
+    # Frozen at the crash: no state beyond the crash round was computed.
+    assert all(t <= 1 for t in proc.states)
+    report = check_all(result.trace)
+    assert report.ok

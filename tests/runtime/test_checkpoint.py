@@ -1,0 +1,123 @@
+"""Checkpoint stores: isolation, atomic publication, corruption -> amnesia."""
+
+import json
+import os
+
+import pytest
+
+from repro.geometry.cache import PERF
+from repro.runtime.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointStore,
+    DiskCheckpointStore,
+    checkpoint_digest,
+)
+
+
+class TestInMemoryStore:
+    def test_latest_snapshot_wins(self):
+        store = CheckpointStore()
+        store.save(3, {"round": 0})
+        store.save(3, {"round": 1})
+        assert store.load(3) == {"round": 1}
+
+    def test_missing_key_is_none(self):
+        assert CheckpointStore().load(9) is None
+
+    def test_load_is_decoupled_from_saved_object(self):
+        # A restored process must never alias live pre-crash state.
+        store = CheckpointStore()
+        payload = {"h": [[0.0, 1.0]]}
+        store.save(0, payload)
+        restored = store.load(0)
+        assert restored == payload
+        restored["h"].append([2.0, 3.0])
+        assert store.load(0) == payload
+
+    def test_save_rejects_non_json_payloads(self):
+        with pytest.raises(TypeError):
+            CheckpointStore().save(0, {"bad": object()})
+
+    def test_counters_move(self):
+        saves0, restores0 = PERF.checkpoint_saves, PERF.checkpoint_restores
+        store = CheckpointStore()
+        store.save(1, {"x": 1})
+        store.load(1)
+        assert PERF.checkpoint_saves == saves0 + 1
+        assert PERF.checkpoint_restores == restores0 + 1
+
+
+class TestDiskStore:
+    def test_round_trip(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(2, {"round": 4, "done": False})
+        assert store.load(2) == {"round": 4, "done": False}
+        # A fresh store instance over the same directory sees it too.
+        assert DiskCheckpointStore(tmp_path).load(2) == {
+            "round": 4,
+            "done": False,
+        }
+
+    def test_entry_is_checksummed_and_versioned(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save("transport", {"clock": 7})
+        entry = json.loads((tmp_path / "ckpt-transport.json").read_text())
+        assert entry["format"] == SCHEMA_VERSION
+        assert entry["sha256"] == checkpoint_digest({"clock": 7})
+
+    def test_no_tempfile_debris_after_save(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        for i in range(5):
+            store.save(0, {"round": i})
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt-0.json"]
+
+    def test_truncated_entry_is_amnesia(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {"round": 3})
+        path = tmp_path / "ckpt-0.json"
+        path.write_text(path.read_text()[:10])
+        corruptions0 = PERF.checkpoint_corruptions
+        assert store.load(0) is None
+        assert PERF.checkpoint_corruptions == corruptions0 + 1
+
+    def test_flipped_payload_fails_checksum(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {"round": 3})
+        path = tmp_path / "ckpt-0.json"
+        entry = json.loads(path.read_text())
+        entry["data"]["round"] = 4  # tampered payload, stale checksum
+        path.write_text(json.dumps(entry))
+        assert store.load(0) is None
+
+    def test_unknown_schema_version_is_amnesia(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {"round": 3})
+        path = tmp_path / "ckpt-0.json"
+        entry = json.loads(path.read_text())
+        entry["format"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        corruptions0 = PERF.checkpoint_corruptions
+        assert store.load(0) is None
+        assert PERF.checkpoint_corruptions == corruptions0 + 1
+
+    def test_missing_file_is_plain_none_not_corruption(self, tmp_path):
+        corruptions0 = PERF.checkpoint_corruptions
+        assert DiskCheckpointStore(tmp_path).load(42) is None
+        assert PERF.checkpoint_corruptions == corruptions0
+
+    def test_keys_and_clear(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {})
+        store.save("transport", {})
+        assert store.keys() == ["0", "transport"]
+        store.clear()
+        assert store.keys() == []
+        assert store.load(0) is None
+
+    def test_failed_write_leaves_previous_entry_intact(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {"round": 1})
+        with pytest.raises(TypeError):
+            store.save(0, {"bad": os})  # unserialisable payload
+        assert store.load(0) == {"round": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt-0.json"]

@@ -65,3 +65,48 @@ class TestSimulatorIntegration:
             run_convex_hull_consensus(
                 inputs, 1, 0.2, fault_plan=plan, enforce_resilience=False
             )
+
+
+class TestRecoveryChecks:
+    def test_recovery_without_crash_rejected(self):
+        from repro.runtime.faults import RecoverySpec
+
+        with pytest.raises(ValueError, match="never crash"):
+            FaultPlan(
+                faulty=frozenset({1}),
+                crashes={1: CrashSpec(0, 0)},
+                recoveries={2: RecoverySpec(recover_at=5)},
+            )
+
+    def test_non_recoveryspec_entry_caught(self):
+        plan = FaultPlan.crash_recover({1: (0, 0, 5)})
+        plan.recoveries[1] = (5, "durable")  # tuple instead of RecoverySpec
+        with pytest.raises(ValueError, match="expected RecoverySpec"):
+            plan.validate()
+
+    def test_recover_at_must_be_positive(self):
+        from repro.runtime.faults import RecoverySpec
+
+        with pytest.raises(ValueError, match="recover_at"):
+            RecoverySpec(recover_at=0)
+
+    def test_unknown_durability_rejected(self):
+        from repro.runtime.faults import RecoverySpec
+
+        with pytest.raises(ValueError, match="durability"):
+            RecoverySpec(recover_at=3, durability="forgetful")
+
+    def test_crash_recover_constructor(self):
+        from repro.runtime.faults import AMNESIA
+
+        plan = FaultPlan.crash_recover(
+            {2: (0, 1, 4), 3: (1, 0, 9)}, durability=AMNESIA
+        )
+        assert plan.validate(5) is plan
+        assert plan.recovery_spec(2).recover_at == 4
+        assert plan.recovery_spec(3).durability == AMNESIA
+        assert not plan.has_durable_recovery
+
+    def test_has_durable_recovery(self):
+        plan = FaultPlan.crash_recover({2: (0, 1, 4)})
+        assert plan.has_durable_recovery

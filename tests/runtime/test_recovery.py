@@ -1,0 +1,155 @@
+"""RecoveryManager: revival scheduling, durable degradation, setup guards."""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import cc_core_factory, run_convex_hull_consensus
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.faults import AMNESIA, DURABLE, LATE_JOIN, FaultPlan
+from repro.runtime.recovery import RecoveryManager, make_recovery_setup
+from repro.runtime.tracing import ProcessTrace
+
+
+def _run(plan, *, durability_check=None, store=None, seed=3):
+    rng = np.random.default_rng(11)
+    inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+    result = run_convex_hull_consensus(
+        inputs,
+        1,
+        0.2,
+        fault_plan=plan,
+        seed=seed,
+        input_bounds=(-1.0, 1.0),
+        checkpoint_store=store,
+    )
+    if durability_check is not None:
+        proc = result.trace.processes[durability_check]
+        assert proc.recovered_at_step is not None
+    return result
+
+
+class TestScheduling:
+    def _manager(self, plan, n=5):
+        rng = np.random.default_rng(0)
+        inputs = rng.uniform(-1.0, 1.0, size=(n, 1))
+        traces = [ProcessTrace(pid=i, input_point=inputs[i]) for i in range(n)]
+        from repro.core.config import CCConfig
+        from repro.core.algorithm_cc import CCProcess
+        from repro.runtime.network import Network
+        from repro.runtime.process import ProcessShell
+
+        config = CCConfig(
+            n=n, f=1, dim=1, eps=0.2, input_lower=-1.0, input_upper=1.0
+        )
+        network = Network(n)
+        shells = [
+            ProcessShell(
+                core=CCProcess(
+                    pid=i, config=config, input_point=inputs[i], trace=traces[i]
+                ),
+                network=network,
+                crash_spec=plan.crash_spec(i),
+            )
+            for i in range(n)
+        ]
+        factory = cc_core_factory(config, inputs, traces)
+        return (
+            RecoveryManager(plan, shells, core_factory=factory),
+            shells,
+        )
+
+    def test_note_crash_schedules_once(self):
+        plan = FaultPlan.crash_recover({4: (0, 1, 7)})
+        manager, shells = self._manager(plan)
+        manager.note_crash(shells[4], 10)
+        manager.note_crash(shells[4], 99)  # duplicate notes are ignored
+        assert manager.has_pending
+        assert manager.will_recover(4)
+        assert manager.due(16) == []
+        assert manager.due(17) == [4]
+        assert not manager.has_pending
+
+    def test_non_recovering_crash_not_scheduled(self):
+        plan = FaultPlan.crash_recover({4: (0, 1, 7)})
+        manager, shells = self._manager(plan)
+        manager.note_crash(shells[3], 5)  # pid 3 has no recovery spec
+        assert not manager.has_pending
+        assert not manager.will_recover(3)
+
+    def test_pop_earliest_orders_by_due_step(self):
+        plan = FaultPlan.crash_recover({3: (0, 0, 20), 4: (0, 0, 5)})
+        manager, shells = self._manager(plan)
+        manager.note_crash(shells[3], 0)
+        manager.note_crash(shells[4], 0)
+        assert manager.pop_earliest() == 4
+        assert manager.pop_earliest() == 3
+
+    def test_requires_core_factory(self):
+        plan = FaultPlan.crash_recover({4: (0, 1, 7)})
+        _, shells = self._manager(plan)
+        with pytest.raises(ValueError, match="core_factory"):
+            RecoveryManager(plan, shells, core_factory=None)
+
+
+class TestSetup:
+    def test_recoveries_without_factory_rejected(self):
+        plan = FaultPlan.crash_recover({1: (0, 0, 3)})
+        with pytest.raises(ValueError, match="core_factory"):
+            make_recovery_setup(plan, None, None)
+
+    def test_durable_plan_autoprovisions_store(self):
+        plan = FaultPlan.crash_recover({1: (0, 0, 3)}, durability=DURABLE)
+        store = make_recovery_setup(plan, None, lambda pid, data: None)
+        assert isinstance(store, CheckpointStore)
+
+    def test_amnesia_plan_needs_no_store(self):
+        plan = FaultPlan.crash_recover({1: (0, 0, 3)}, durability=AMNESIA)
+        assert make_recovery_setup(plan, None, lambda pid, data: None) is None
+
+    def test_supplied_store_is_kept(self):
+        plan = FaultPlan.crash_recover({1: (0, 0, 3)}, durability=DURABLE)
+        mine = CheckpointStore()
+        assert make_recovery_setup(plan, mine, lambda pid, data: None) is mine
+
+
+class TestDurabilityModes:
+    def test_durable_recovery_restores_and_decides(self):
+        plan = FaultPlan.crash_recover({4: (1, 1, 8)}, durability=DURABLE)
+        result = _run(plan, durability_check=4)
+        proc = result.trace.processes[4]
+        assert proc.recovery_durability == DURABLE
+        assert proc.restarts == 0
+        # Durable recovery on the reliable network = a slow process: the
+        # recoverer decides and every invariant holds.
+        assert 4 in result.report.decided
+        assert 4 in result.report.recovered
+
+    def test_amnesia_recovery_restarts(self):
+        plan = FaultPlan.crash_recover({4: (1, 1, 8)}, durability=AMNESIA)
+        result = _run(plan, durability_check=4)
+        proc = result.trace.processes[4]
+        assert proc.recovery_durability == AMNESIA
+        assert proc.restarts == 1
+        assert proc.pre_recovery_states  # first incarnation archived
+
+    def test_late_join_recovery_stays_passive(self):
+        plan = FaultPlan.crash_recover({4: (1, 1, 8)}, durability=LATE_JOIN)
+        result = _run(plan, durability_check=4)
+        proc = result.trace.processes[4]
+        assert proc.recovery_durability == LATE_JOIN
+        # A late-joiner never re-runs on_start, so it re-broadcasts
+        # nothing: its restart is recorded but sends nothing new.
+        assert proc.restarts == 1
+
+    def test_durable_without_surviving_checkpoint_degrades_to_amnesia(self):
+        # An empty store at revival time means the disk did not survive:
+        # the *effective* mode recorded on the trace is amnesia.
+        class AmnesiacStore(CheckpointStore):
+            def load(self, key):
+                return None
+
+        plan = FaultPlan.crash_recover({4: (1, 1, 8)}, durability=DURABLE)
+        result = _run(plan, durability_check=4, store=AmnesiacStore())
+        proc = result.trace.processes[4]
+        assert proc.recovery_durability == AMNESIA
+        assert proc.restarts == 1

@@ -21,6 +21,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["consensus", "--crash", "4:1"])
 
+    def test_recovery_spec_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "consensus",
+                "--crash", "4:1:2",
+                "--recover-at", "4:10",
+                "--durability", "amnesia",
+            ]
+        )
+        assert args.recover_at == [(4, 10)]
+        assert args.durability == "amnesia"
+
+    def test_bad_recovery_specs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["consensus", "--recover-at", "4"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["consensus", "--recover-at", "4:0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["consensus", "--durability", "forgetful"]
+            )
+
 
 class TestCommands:
     def test_list_scenarios(self, capsys):
@@ -122,3 +144,65 @@ class TestCommands:
              "--workload", "identical"]
         )
         assert code == 0
+
+    def test_consensus_reports_reliability_counters(self, capsys):
+        assert main(["consensus", "--n", "5", "--d", "1", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "retransmissions=" in out
+        assert "dup_drops=" in out
+        assert "shared_cache_errors=" in out
+
+    def test_sweep_reports_reliability_counters(self, capsys):
+        assert main(["sweep", "view-split", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "retransmissions=" in out
+        assert "dup_drops=" in out
+        assert "shared_cache_errors=" in out
+
+    def test_consensus_with_durable_recovery(self, capsys):
+        code = main(
+            [
+                "consensus",
+                "--n", "5", "--d", "1", "--eps", "0.3", "--seed", "1",
+                "--crash", "4:1:2",
+                "--recover-at", "4:8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery: recovered=[4]" in out
+        assert "checkpoint_saves=" in out
+
+    def test_consensus_amnesia_recovery(self, capsys):
+        code = main(
+            [
+                "consensus",
+                "--n", "5", "--d", "1", "--eps", "0.3", "--seed", "1",
+                "--crash", "4:1:2",
+                "--recover-at", "4:8",
+                "--durability", "amnesia",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery: recovered=[4]" in out
+        assert "restarts=1" in out
+
+    def test_recover_at_without_crash_rejected(self, capsys):
+        code = main(
+            ["consensus", "--n", "5", "--d", "1", "--recover-at", "4:8"]
+        )
+        assert code == 2
+        assert "--crash" in capsys.readouterr().err
+
+    def test_recover_at_for_uncrashed_pid_rejected(self, capsys):
+        code = main(
+            [
+                "consensus",
+                "--n", "5", "--d", "1",
+                "--crash", "4:1:2",
+                "--recover-at", "3:8",
+            ]
+        )
+        assert code == 2
+        assert "invalid fault plan" in capsys.readouterr().err
