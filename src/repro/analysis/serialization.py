@@ -19,7 +19,7 @@ from typing import Any
 import numpy as np
 
 from ..geometry.polytope import ConvexPolytope
-from ..runtime.faults import CrashSpec, FaultPlan, RecoverySpec
+from ..runtime.faults import ByzantineSpec, CrashSpec, FaultPlan, RecoverySpec
 from ..runtime.messages import InputTuple
 from ..runtime.tracing import ExecutionTrace, ProcessTrace
 
@@ -63,6 +63,10 @@ def _fault_plan_to_obj(plan: FaultPlan) -> dict[str, Any]:
             str(pid): [spec.recover_at, spec.durability]
             for pid, spec in plan.recoveries.items()
         },
+        "byzantine": {
+            str(pid): spec.to_json_dict()
+            for pid, spec in plan.byzantine.items()
+        },
     }
 
 
@@ -82,6 +86,11 @@ def _fault_plan_from_obj(obj: dict[str, Any]) -> FaultPlan:
         recoveries={
             int(pid): RecoverySpec(recover_at=spec[0], durability=spec[1])
             for pid, spec in obj.get("recoveries", {}).items()
+        },
+        # .get: pre-Byzantine archives have no "byzantine" key.
+        byzantine={
+            int(pid): ByzantineSpec.from_json_dict(spec)
+            for pid, spec in obj.get("byzantine", {}).items()
         },
     )
 

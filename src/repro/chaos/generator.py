@@ -52,6 +52,27 @@ process crashes and later revives, :mod:`repro.runtime.recovery`):
 * ``recovery-storm``   — per-process random durability (durable /
   amnesia / late-join) under the full scheduler pool; expected-violation
   stress tier.
+
+Four *Byzantine* profiles probe the crash-vs-Byzantine bound gap
+(``algorithm_bcc`` at ``max(3f+1, (d+2)f+1)`` vs the crash algorithm at
+``(d+2)f+1``, :mod:`repro.runtime.byzantine`):
+
+* ``byzantine-legal``        — BCC at or above the Byzantine bound with
+  ``|B| <= f`` adversaries (random behavior subsets, rates, seeds; ~30%
+  of cases additionally run over a frame-corrupting fabric through the
+  reliable transport).  Every invariant over the *correct* processes
+  must hold; any violation is an implementation bug.
+* ``byzantine-below-bound``  — BCC one process below its bound: the
+  round-0 trim can empty out or reliable broadcast can starve, so
+  findings are expected.
+* ``byzantine-beyond-bound`` — legal ``n`` but ``f + 1`` actual
+  Byzantine processes: past the premise, violations expected.
+* ``byzantine-vs-crash``     — the *crash* algorithm at its own (lower)
+  bound facing a Byzantine adversary it was never designed for: the
+  bound-gap experiment.  Validity / containment violations here are the
+  predicted outcome, demonstrating why the Byzantine bound is larger.
+
+``byzantine-mixed`` interleaves all four (0.55 / 0.15 / 0.15 / 0.15).
 """
 
 from __future__ import annotations
@@ -62,12 +83,17 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..analysis.serialization import fault_plan_from_obj, fault_plan_to_obj
-from ..core.config import required_processes
+from ..core.config import byzantine_required_processes, required_processes
 from ..core.runner import derive_bounds
 from ..runtime.faults import (
     AMNESIA,
+    BYZANTINE_BEHAVIORS,
     DURABLE,
+    EQUIVOCATE,
+    FORGE,
     LATE_JOIN,
+    OMIT,
+    ByzantineSpec,
     CrashSpec,
     FaultPlan,
     LinkFaultPlan,
@@ -93,6 +119,10 @@ LABEL_PARTITION_FOREVER = "partition-forever"
 LABEL_RECOVERY_LEGAL = "recovery-legal"
 LABEL_RECOVERY_AMNESIA = "recovery-amnesia"
 LABEL_RECOVERY_STORM = "recovery-storm"
+LABEL_BYZ_LEGAL = "byzantine-legal"
+LABEL_BYZ_BELOW = "byzantine-below-bound"
+LABEL_BYZ_BEYOND = "byzantine-beyond-bound"
+LABEL_BYZ_VS_CRASH = "byzantine-vs-crash"
 
 PROFILES = (
     LABEL_LEGAL,
@@ -105,6 +135,11 @@ PROFILES = (
     LABEL_RECOVERY_LEGAL,
     LABEL_RECOVERY_AMNESIA,
     LABEL_RECOVERY_STORM,
+    LABEL_BYZ_LEGAL,
+    LABEL_BYZ_BELOW,
+    LABEL_BYZ_BEYOND,
+    LABEL_BYZ_VS_CRASH,
+    "byzantine-mixed",
 )
 
 #: Profiles whose violations a campaign counts as expected findings:
@@ -124,6 +159,9 @@ EXPECTED_VIOLATION_LABELS = frozenset(
         LABEL_PARTITION_FOREVER,
         LABEL_RECOVERY_AMNESIA,
         LABEL_RECOVERY_STORM,
+        LABEL_BYZ_BELOW,
+        LABEL_BYZ_BEYOND,
+        LABEL_BYZ_VS_CRASH,
     }
 )
 
@@ -132,6 +170,29 @@ RECOVERY_LABELS = (
     LABEL_RECOVERY_LEGAL,
     LABEL_RECOVERY_AMNESIA,
     LABEL_RECOVERY_STORM,
+)
+
+#: The Byzantine probes.  Only ``byzantine-legal`` demands zero findings;
+#: the other three deliberately break a premise (the Byzantine bound or
+#: the crash-fault assumption itself) and are in
+#: :data:`EXPECTED_VIOLATION_LABELS`.
+BYZANTINE_LABELS = (
+    LABEL_BYZ_LEGAL,
+    LABEL_BYZ_BELOW,
+    LABEL_BYZ_BEYOND,
+    LABEL_BYZ_VS_CRASH,
+)
+
+#: Every non-empty subset of the Byzantine behaviors, in a fixed order
+#: (the generator picks one combo per adversary).
+BEHAVIOR_COMBOS = (
+    (EQUIVOCATE,),
+    (FORGE,),
+    (OMIT,),
+    (EQUIVOCATE, FORGE),
+    (EQUIVOCATE, OMIT),
+    (FORGE, OMIT),
+    BYZANTINE_BEHAVIORS,
 )
 
 #: Workload name -> (n, d, seed) -> inputs array.  A subset of the input
@@ -253,6 +314,9 @@ class FuzzCase:
     #: JSON form of a :class:`LinkFaultPlan` (None = reliable network).
     link_faults: dict | None = None
     reliable_transport: bool = True
+    #: Which sibling runs the case: ``"cc"`` (crash, the default — every
+    #: pre-Byzantine case deserialises to it) or ``"bcc"``.
+    algorithm: str = "cc"
 
     def to_json_dict(self) -> dict[str, Any]:
         return {
@@ -272,6 +336,7 @@ class FuzzCase:
             "enforce_resilience": self.enforce_resilience,
             "link_faults": self.link_faults,
             "reliable_transport": self.reliable_transport,
+            "algorithm": self.algorithm,
         }
 
     @classmethod
@@ -297,6 +362,7 @@ class FuzzCase:
                 else None
             ),
             reliable_transport=bool(data.get("reliable_transport", True)),
+            algorithm=str(data.get("algorithm", "cc")),
         )
 
 
@@ -344,13 +410,38 @@ def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
         label = LABEL_LEGAL if roll < 0.6 else (
             LABEL_BELOW if roll < 0.8 else LABEL_BEYOND
         )
+    elif config.profile == "byzantine-mixed":
+        # 55% legal, 15% each probe — deterministic by seed.
+        roll = rng.random()
+        if roll < 0.55:
+            label = LABEL_BYZ_LEGAL
+        elif roll < 0.70:
+            label = LABEL_BYZ_BELOW
+        elif roll < 0.85:
+            label = LABEL_BYZ_BEYOND
+        else:
+            label = LABEL_BYZ_VS_CRASH
     else:
         label = config.profile
 
     d = int(_pick(rng, config.d_choices))
     f = int(_pick(rng, config.f_choices))
     bound = required_processes(d, f)
-    if label == LABEL_BELOW:
+    byz_bound = byzantine_required_processes(d, f)
+    if label in BYZANTINE_LABELS:
+        # Process faults are Byzantine here (sampled at the end, after
+        # every legacy draw); the crash machinery below stays idle.
+        if label == LABEL_BYZ_BELOW:
+            n = byz_bound - 1
+        elif label == LABEL_BYZ_VS_CRASH:
+            # The crash algorithm at its own (lower) bound — the whole
+            # point is that this n is legal for crashes but not for the
+            # adversary it is about to face.
+            n = bound + int(rng.integers(0, config.max_extra_processes + 1))
+        else:
+            n = byz_bound + int(rng.integers(0, config.max_extra_processes + 1))
+        fault_count = 0
+    elif label == LABEL_BELOW:
         n = bound - 1
         fault_count = f
     elif label == LABEL_BEYOND:
@@ -391,6 +482,12 @@ def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
     plan = FaultPlan(faulty=frozenset(faulty), crashes=crashes)
 
     lo, hi = config.eps_range
+    if label in BYZANTINE_LABELS:
+        # Byzantine rounds are expensive (one reliable-broadcast instance
+        # per claim per round), so remap the agreement parameter upward to
+        # keep t_end — and with it the RB instance count — moderate.  The
+        # single draw below keeps the stream shape label-independent.
+        lo, hi = 0.3, 0.6
     eps = float(np.round(lo + (hi - lo) * rng.random(), 4))
     workload = str(_pick(rng, config.workloads))
     scheduler = str(_pick(rng, config.schedulers))
@@ -466,6 +563,40 @@ def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
             faulty=frozenset(faulty), crashes=crashes, recoveries=recoveries
         )
 
+    # Byzantine sampling, also append-only: adversary identities, behavior
+    # combos, rates and engine seeds are drawn after every draw above, so
+    # no historical profile's stream moves.  Byzantine probes never sample
+    # recoveries (BCC's reliable-broadcast echoes are one-shot per tag, so
+    # a restarted process cannot re-join its instances).
+    algorithm = "cc"
+    if label in BYZANTINE_LABELS:
+        algorithm = "cc" if label == LABEL_BYZ_VS_CRASH else "bcc"
+        byz_count = f + 1 if label == LABEL_BYZ_BEYOND else f
+        byz_count = min(byz_count, n - 1)
+        byz_pids = sorted(
+            int(p) for p in rng.choice(n, size=byz_count, replace=False)
+        )
+        byz = {}
+        for pid in byz_pids:
+            byz[pid] = ByzantineSpec(
+                behaviors=tuple(_pick(rng, BEHAVIOR_COMBOS)),
+                rate=float(np.round(0.5 + 0.5 * rng.random(), 4)),
+                magnitude=float(np.round(2.0 + 4.0 * rng.random(), 4)),
+                seed=int(rng.integers(0, 2**31)),
+            )
+        plan = FaultPlan(faulty=frozenset(byz_pids), byzantine=byz)
+        if label == LABEL_BYZ_LEGAL and rng.random() < 0.3:
+            # A slice of the legal tier runs over a frame-corrupting
+            # fabric: checksums + retransmission must absorb the
+            # corruption, so these cases still demand zero findings.
+            plan_seed = int(rng.integers(0, 2**31))
+            link_plan = LinkFaultPlan(
+                default=LinkFaultSpec(
+                    corrupt=float(np.round(0.05 + 0.2 * rng.random(), 4)),
+                ),
+                seed=plan_seed,
+            )
+
     return FuzzCase(
         case_id=f"{label}-s{seed}",
         seed=int(seed),
@@ -480,9 +611,11 @@ def generate_case(config: FuzzConfig, seed: int) -> FuzzCase:
         fault_plan=fault_plan_to_obj(plan),
         outlier_pids=outlier_pids,
         outlier_magnitude=config.outlier_magnitude,
-        enforce_resilience=label != LABEL_BELOW,
+        enforce_resilience=label
+        not in (LABEL_BELOW, LABEL_BYZ_BELOW, LABEL_BYZ_BEYOND),
         link_faults=(
             link_plan.to_json_dict() if link_plan is not None else None
         ),
         reliable_transport=config.reliable_transport,
+        algorithm=algorithm,
     )

@@ -141,7 +141,7 @@ def _classify_full_report(report: FullReport) -> ViolationRecord | None:
                 f"eps {report.agreement.eps}"
             ),
         )
-    if report.optimality.violations:
+    if report.optimality is not None and report.optimality.violations:
         pid, t, excess = report.optimality.violations[0]
         return ViolationRecord(
             kind="optimality",
@@ -221,6 +221,7 @@ def run_case(
             observer=checker,
             link_faults=build_link_plan(case),
             reliable_transport=case.reliable_transport,
+            algorithm=case.algorithm,
         )
     except OnlineViolation as violation:
         return snapshot(

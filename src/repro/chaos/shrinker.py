@@ -8,13 +8,17 @@ violation kind* still fires:
 
 1. **Drop faulty processes** — remove a pid from the fault plan entirely
    (it becomes a correct process with its current input).
-2. **Drop recoveries** — demote a crash-recover pid to plain crash-stop
+2. **Tame Byzantine adversaries** — demote a Byzantine pid to plain
+   faulty (its engine disappears; if the violation survives, the lies
+   were irrelevant), then drop individual behaviors from multi-behavior
+   specs so the surviving counterexample names the *one* lie that bites.
+3. **Drop recoveries** — demote a crash-recover pid to plain crash-stop
    (if the violation survives, recovery was irrelevant to it); surviving
    recoveries get their ``recover_at`` delay halved toward 1.
-3. **Reduce crash specs** — push ``after_sends`` toward 0 (crash before
+4. **Reduce crash specs** — push ``after_sends`` toward 0 (crash before
    the broadcast rather than mid-way) and ``round_index`` toward 0,
    greedily with halving steps.
-4. **Shrink the schedule** — ddmin over the recorded decision list:
+5. **Shrink the schedule** — ddmin over the recorded decision list:
    remove contiguous segments at halving granularity down to single
    decisions (greedy prefix removal falls out of the first pass).  The
    edited list stays executable because
@@ -74,6 +78,11 @@ def _drop_pid(plan_obj: dict[str, Any], pid: int) -> dict[str, Any]:
             for key, spec in plan_obj.get("recoveries", {}).items()
             if int(key) != pid
         },
+        "byzantine": {
+            key: spec
+            for key, spec in plan_obj.get("byzantine", {}).items()
+            if int(key) != pid
+        },
     }
     if out["incorrect_inputs"] is not None:
         out["incorrect_inputs"] = [
@@ -90,6 +99,7 @@ def _with_crash(
         "crashes": dict(plan_obj["crashes"]),
         "incorrect_inputs": plan_obj.get("incorrect_inputs"),
         "recoveries": dict(plan_obj.get("recoveries", {})),
+        "byzantine": dict(plan_obj.get("byzantine", {})),
     }
     out["crashes"][str(pid)] = [round_index, after_sends]
     return out
@@ -103,6 +113,20 @@ def _with_recoveries(
         "crashes": dict(plan_obj["crashes"]),
         "incorrect_inputs": plan_obj.get("incorrect_inputs"),
         "recoveries": dict(recoveries),
+        "byzantine": dict(plan_obj.get("byzantine", {})),
+    }
+    return out
+
+
+def _with_byzantine(
+    plan_obj: dict[str, Any], byzantine: dict[str, Any]
+) -> dict[str, Any]:
+    out = {
+        "faulty": list(plan_obj["faulty"]),
+        "crashes": dict(plan_obj["crashes"]),
+        "incorrect_inputs": plan_obj.get("incorrect_inputs"),
+        "recoveries": dict(plan_obj.get("recoveries", {})),
+        "byzantine": dict(byzantine),
     }
     return out
 
@@ -141,6 +165,10 @@ def shrink(
         "recoveries": {
             key: list(spec)
             for key, spec in case.fault_plan.get("recoveries", {}).items()
+        },
+        "byzantine": {
+            key: dict(spec)
+            for key, spec in case.fault_plan.get("byzantine", {}).items()
         },
     }
     schedule: Schedule = tuple(outcome.schedule)
@@ -201,6 +229,47 @@ def shrink(
                 state["best"] = result
                 note(f"dropped faulty process {pid}")
                 progress = True
+
+        # Pass 1b — tame Byzantine adversaries: first demote a pid to
+        # plain faulty (no engine at all; pass 1 may then drop it
+        # entirely), then strip behaviors from multi-behavior specs so
+        # the minimal case names the one lie that matters.
+        for key in sorted(plan_obj.get("byzantine", {})):
+            remaining = {
+                k: v for k, v in plan_obj["byzantine"].items() if k != key
+            }
+            candidate = _with_byzantine(plan_obj, remaining)
+            result = attempt(candidate, schedule)
+            if result is not None:
+                plan_obj = candidate
+                state["best"] = result
+                note(f"demoted Byzantine process {key} to plain faulty")
+                progress = True
+        for key in sorted(plan_obj.get("byzantine", {})):
+            spec = dict(plan_obj["byzantine"][key])
+            behaviors = list(spec["behaviors"])
+            changed = True
+            while len(behaviors) > 1 and changed and budget_left():
+                changed = False
+                for behavior in list(behaviors):
+                    slimmer = [b for b in behaviors if b != behavior]
+                    candidate = _with_byzantine(
+                        plan_obj,
+                        {
+                            **plan_obj["byzantine"],
+                            key: {**spec, "behaviors": slimmer},
+                        },
+                    )
+                    result = attempt(candidate, schedule)
+                    if result is not None:
+                        plan_obj = candidate
+                        spec = dict(plan_obj["byzantine"][key])
+                        behaviors = slimmer
+                        state["best"] = result
+                        note(f"byzantine({key}): dropped behavior {behavior!r}")
+                        changed = True
+                        progress = True
+                        break
 
         # Pass 2 — drop recoveries (crash-recover -> crash-stop), then
         # halve the recover_at delay of the recoveries that must stay.

@@ -10,7 +10,10 @@ Commands
                     recovery layer to demonstrate the delivery oracle;
                     ``--recover-at PID:STEPS`` (with ``--durability``)
                     revives a ``--crash``\\ ed process after STEPS
-                    deliveries
+                    deliveries; ``--algorithm bcc`` runs the Byzantine
+                    sibling and ``--byzantine PID[:BEHAVIORS]`` arms the
+                    adversary (``--corrupt-rate`` corrupts frames on the
+                    wire — checksums + retransmission must absorb it)
 ``verify``          re-check a dumped trace (invariants + matrix theory)
 ``sweep``           run a scenario across seeds — ``--workers N`` shards the
                     grid over a process pool, ``--run-dir DIR`` checkpoints
@@ -43,8 +46,10 @@ from .core.matrix import (
 )
 from .core.runner import run_convex_hull_consensus
 from .runtime.faults import (
+    BYZANTINE_BEHAVIORS,
     DURABILITY_MODES,
     DURABLE,
+    ByzantineSpec,
     CrashSpec,
     FaultPlan,
     LinkFaultPlan,
@@ -112,6 +117,31 @@ def _parse_recovery(spec: str) -> tuple[int, int]:
     return pid, steps
 
 
+def _parse_byzantine(spec: str) -> tuple[int, tuple[str, ...]]:
+    """Parse ``PID`` or ``PID:BEHAVIORS`` (behaviors comma-separated)."""
+    parts = spec.split(":")
+    if len(parts) not in (1, 2):
+        raise argparse.ArgumentTypeError(
+            f"byzantine spec must be PID or PID:BEHAVIORS, got {spec!r}"
+        )
+    try:
+        pid = int(parts[0])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"byzantine spec must start with a pid, got {spec!r}"
+        ) from exc
+    behaviors = tuple(BYZANTINE_BEHAVIORS)
+    if len(parts) == 2:
+        behaviors = tuple(b for b in parts[1].split(",") if b)
+        unknown = [b for b in behaviors if b not in BYZANTINE_BEHAVIORS]
+        if not behaviors or unknown:
+            raise argparse.ArgumentTypeError(
+                f"behaviors must be a non-empty subset of "
+                f"{BYZANTINE_BEHAVIORS}, got {parts[1]!r}"
+            )
+    return pid, behaviors
+
+
 def _parse_partition(spec: str) -> tuple[tuple[int, ...], int, int | None]:
     """Parse ``PIDS:START:HEAL`` (pids comma-separated, heal -1 = never)."""
     parts = spec.split(":")
@@ -138,6 +168,7 @@ def _build_link_plan(args, n: int) -> LinkFaultPlan | None:
         dup=args.dup_rate,
         delay=args.link_delay,
         reorder=args.reorder_rate,
+        corrupt=args.corrupt_rate,
     )
     if args.partition is not None:
         pids, start, heal = args.partition
@@ -182,10 +213,23 @@ def _check_and_report(trace, *, matrix_checks: bool, out=None) -> bool:
         ["validity", report.validity.ok, len(report.validity.violations)],
         ["eps-agreement", report.agreement.ok, report.agreement.disagreement],
         ["termination", report.termination.ok, len(report.termination.stuck)],
-        ["lemma6-containment", report.optimality.ok, len(report.optimality.violations)],
+        (
+            [
+                "lemma6-containment",
+                report.optimality.ok,
+                len(report.optimality.violations),
+            ]
+            if report.optimality is not None
+            else ["lemma6-containment", "n/a", "-"]
+        ),
         ["stable-vector", report.stable_vector.ok, "-"],
     ]
     ok = report.ok
+    if matrix_checks and not any(p.r_view is not None for p in trace.processes):
+        # Theorem 1 / Lemma 3 are statements about the crash algorithm's
+        # stable-vector rounds; a BCC trace has no views to verify.
+        print("matrix checks skipped: trace has no stable-vector views", file=out)
+        matrix_checks = False
     if matrix_checks:
         evolution = verify_state_evolution(trace)
         ergodicity = ergodicity_coefficients(trace)
@@ -232,20 +276,30 @@ def cmd_consensus(args) -> int:
         return 2
     inputs = gen(args.n, args.d, args.seed)
     plan = FaultPlan.none()
-    if args.crash:
-        crashes = dict(args.crash)
+    if args.crash or args.byzantine:
+        crashes = dict(args.crash or [])
+        byzantine = {
+            pid: ByzantineSpec(
+                behaviors=behaviors,
+                rate=args.byzantine_rate,
+                magnitude=args.byzantine_magnitude,
+                seed=args.byzantine_seed,
+            )
+            for pid, behaviors in (args.byzantine or [])
+        }
         recoveries = {
             pid: RecoverySpec(recover_at=steps, durability=args.durability)
             for pid, steps in (args.recover_at or [])
         }
         try:
             plan = FaultPlan(
-                faulty=frozenset(crashes),
+                faulty=frozenset(crashes) | frozenset(byzantine),
                 crashes={
                     pid: CrashSpec(round_index=r, after_sends=k)
                     for pid, (r, k) in crashes.items()
                 },
                 recoveries=recoveries,
+                byzantine=byzantine,
             ).validate(args.n)
         except ValueError as exc:
             print(f"invalid fault plan: {exc}", file=sys.stderr)
@@ -253,6 +307,7 @@ def cmd_consensus(args) -> int:
     elif args.recover_at:
         print("--recover-at requires a matching --crash", file=sys.stderr)
         return 2
+    from .core.algorithm_cc import EmptyInitialPolytopeError
     from .runtime.network import ChannelError
     from .runtime.simulator import SimulationError
 
@@ -266,6 +321,7 @@ def cmd_consensus(args) -> int:
             seed=args.seed,
             link_faults=link_plan,
             reliable_transport=not args.raw_transport,
+            algorithm=args.algorithm,
         )
     except ChannelError as exc:
         print(f"channel contract violated: {exc}", file=sys.stderr)
@@ -273,6 +329,12 @@ def cmd_consensus(args) -> int:
     except SimulationError as exc:
         print(f"no termination: {exc}", file=sys.stderr)
         return 1
+    except EmptyInitialPolytopeError as exc:
+        print(f"empty initial polytope: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
     _summarise(result)
     counters = result.report.perf_counters
     print(
@@ -284,8 +346,15 @@ def cmd_consensus(args) -> int:
         print(
             f"transport: acks={counters.get('ack_messages', 0)} "
             f"link_drops={counters.get('link_drops', 0)} "
+            f"corrupt_drops={counters.get('corrupt_drops', 0)} "
             f"partition_heals={counters.get('partition_heals', 0)} "
             f"crashed_app_drops={counters.get('crashed_app_drops', 0)}"
+        )
+    if plan.byzantine:
+        print(
+            f"adversary: equivocations={counters.get('byz_equivocations', 0)} "
+            f"forgeries={counters.get('byz_forgeries', 0)} "
+            f"omissions={counters.get('byz_omissions', 0)}"
         )
     if plan.recoveries:
         print(
@@ -541,11 +610,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", default="gaussian", choices=sorted(WORKLOADS)
     )
     p_run.add_argument(
+        "--algorithm",
+        default="cc",
+        choices=("cc", "bcc"),
+        help="'cc' is the paper's crash-model algorithm; 'bcc' the "
+        "Byzantine sibling at the max(3f+1, (d+2)f+1) bound",
+    )
+    p_run.add_argument(
         "--crash",
         type=_parse_crash,
         action="append",
         metavar="PID:ROUND:SENDS",
         help="crash process PID in ROUND after SENDS sends (repeatable)",
+    )
+    p_run.add_argument(
+        "--byzantine",
+        type=_parse_byzantine,
+        action="append",
+        metavar="PID[:BEHAVIORS]",
+        help="make process PID Byzantine (repeatable); BEHAVIORS is a "
+        "comma-separated subset of equivocate,forge,omit (default all)",
+    )
+    p_run.add_argument(
+        "--byzantine-rate",
+        type=float,
+        default=1.0,
+        help="probability each Byzantine send is attacked (default 1.0)",
+    )
+    p_run.add_argument(
+        "--byzantine-magnitude",
+        type=float,
+        default=8.0,
+        help="coordinate bound of forged values (default 8.0)",
+    )
+    p_run.add_argument(
+        "--byzantine-seed",
+        type=int,
+        default=0,
+        help="root seed of the adversary RNG streams (default 0)",
     )
     p_run.add_argument(
         "--recover-at",
@@ -580,6 +682,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="probability of extra reordering jitter per frame",
+    )
+    p_run.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=0.0,
+        help="per-transmission frame-corruption probability on every "
+        "link; checksums drop corrupted frames, retransmission recovers",
     )
     p_run.add_argument(
         "--link-delay",
@@ -695,10 +804,17 @@ def build_parser() -> argparse.ArgumentParser:
             "recovery-legal",
             "recovery-amnesia",
             "recovery-storm",
+            "byzantine-legal",
+            "byzantine-below-bound",
+            "byzantine-beyond-bound",
+            "byzantine-vs-crash",
+            "byzantine-mixed",
         ],
         help="sampling profile: relative to the n >= (d+2)f+1 bound, "
         "over the link-fault space (lossy fabric + reliable transport), "
-        "or over crash-recover schedules (durable / amnesia / mixed)",
+        "over crash-recover schedules (durable / amnesia / mixed), or "
+        "over Byzantine adversaries (BCC around its bound, plus the "
+        "byzantine-vs-crash bound-gap probe)",
     )
     p_fuzz.add_argument(
         "--raw-transport",

@@ -32,6 +32,25 @@ def required_processes(d: int, f: int) -> int:
     return (d + 2) * f + 1
 
 
+def byzantine_required_processes(d: int, f: int) -> int:
+    """Resilience bound for the Byzantine sibling: ``max(3f+1, (d+2)f+1)``.
+
+    The echo-certified algorithm (``algorithm_bcc``) layers Bracha
+    reliable broadcast under the crash-model rounds.  Reliable broadcast
+    needs ``n >= 3f+1``; the geometric round-0 trim keeps the crash
+    bound's ``(d+2)f+1``.  For ``d >= 1`` the geometric term dominates,
+    so the numeric bound coincides with the crash bound — the gap the
+    chaos campaigns probe is *behavioral*: at the same legal ``n`` the
+    crash algorithm breaks under Byzantine behavior while the sibling
+    survives.
+    """
+    return max(3 * f + 1, (d + 2) * f + 1)
+
+
+#: Valid values of :attr:`CCConfig.fault_model`.
+FAULT_MODELS = ("crash", "byzantine")
+
+
 @dataclass(frozen=True)
 class CCConfig:
     """Parameters of one convex-hull-consensus instance.
@@ -49,6 +68,7 @@ class CCConfig:
     input_lower: float = -1.0
     input_upper: float = 1.0
     enforce_resilience: bool = True
+    fault_model: str = "crash"
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -63,11 +83,28 @@ class CCConfig:
             raise ValueError(
                 f"input bounds out of order: [{self.input_lower}, {self.input_upper}]"
             )
-        if self.enforce_resilience and self.n < required_processes(self.dim, self.f):
+        if self.fault_model not in FAULT_MODELS:
+            raise ValueError(
+                f"unknown fault model {self.fault_model!r}; expected one of {FAULT_MODELS}"
+            )
+        if self.enforce_resilience and self.n < self.required_n:
+            if self.fault_model == "byzantine":
+                raise ResilienceError(
+                    f"n={self.n} < max(3f+1, (d+2)f+1) = {self.required_n} "
+                    f"for d={self.dim}, f={self.f} (Byzantine bound)"
+                )
             raise ResilienceError(
                 f"n={self.n} < (d+2)f+1 = {required_processes(self.dim, self.f)} "
                 f"for d={self.dim}, f={self.f} (paper Eq. 2)"
             )
+
+    # ------------------------------------------------------------------
+    @property
+    def required_n(self) -> int:
+        """The resilience bound selected by :attr:`fault_model`."""
+        if self.fault_model == "byzantine":
+            return byzantine_required_processes(self.dim, self.f)
+        return required_processes(self.dim, self.f)
 
     # ------------------------------------------------------------------
     @property

@@ -37,6 +37,12 @@ class ValidityReport:
     checked_states: int
     violations: list[tuple[int, int, float]] = field(default_factory=list)
     worst_excess: float = 0.0
+    #: States recorded by Byzantine processes, examined for triage but
+    #: exempt from the property: validity quantifies over correct
+    #: processes only (an adversary's honest core still traces what it
+    #: computed — useful when diagnosing a finding — but the property
+    #: says nothing about it).
+    adversary_states: int = 0
 
     @property
     def ok(self) -> bool:
@@ -52,13 +58,21 @@ def check_validity(
     validity holds for every process that has not crashed yet, not only
     the fault-free ones) — including every state of every pre-recovery
     incarnation of a restarted process: a state that ever existed was
-    observable by others, so it must have been valid.
+    observable by others, so it must have been valid.  Byzantine
+    processes are the exception: the property is quantified over correct
+    processes only, so their states are counted (``adversary_states``)
+    but never flagged.
     """
+    byzantine = set(trace.fault_plan.byzantine)
     hull = ConvexPolytope.from_points(trace.correct_inputs)
     checked = 0
+    adversary = 0
     violations: list[tuple[int, int, float]] = []
     worst = 0.0
     for proc in trace.processes:
+        if proc.pid in byzantine:
+            adversary += sum(1 for _ in proc.all_states())
+            continue
         for t, state in proc.all_states():
             checked += 1
             excess = max(
@@ -68,7 +82,10 @@ def check_validity(
                 violations.append((proc.pid, t, excess))
                 worst = max(worst, excess)
     return ValidityReport(
-        checked_states=checked, violations=violations, worst_excess=worst
+        checked_states=checked,
+        violations=violations,
+        worst_excess=worst,
+        adversary_states=adversary,
     )
 
 
@@ -119,6 +136,10 @@ class TerminationReport:
     #: ``stuck`` instead: with its full pre-crash state restored it is
     #: indistinguishable from a slow process and must decide.
     recovered_undecided: list[int] = field(default_factory=list)
+    #: Byzantine processes, reported for triage but exempt from the
+    #: property: an adversary sabotaging its own broadcasts may
+    #: legitimately never decide.
+    byzantine: list[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -131,14 +152,19 @@ def check_termination(trace: ExecutionTrace) -> TerminationReport:
     Recovery-aware extension: a durable-recovered process must also
     decide (it is a slow process, not a ghost); amnesia and late-join
     recoverers are permitted to end undecided, reported separately as
-    ``recovered_undecided``.
+    ``recovered_undecided``.  Byzantine processes are exempt (reported
+    in ``byzantine``): termination quantifies over correct processes.
     """
     from ..runtime.faults import DURABLE
 
     decided, crashed, stuck = [], [], []
     recovered_undecided: list[int] = []
+    byzantine: list[int] = []
+    byz_pids = set(trace.fault_plan.byzantine)
     for proc in trace.processes:
-        if proc.recovered_at_step is not None:
+        if proc.pid in byz_pids:
+            byzantine.append(proc.pid)
+        elif proc.recovered_at_step is not None:
             if proc.decided:
                 decided.append(proc.pid)
             elif proc.recovery_durability == DURABLE:
@@ -156,6 +182,7 @@ def check_termination(trace: ExecutionTrace) -> TerminationReport:
         crashed=crashed,
         stuck=stuck,
         recovered_undecided=recovered_undecided,
+        byzantine=byzantine,
     )
 
 
@@ -258,7 +285,11 @@ class FullReport:
     validity: ValidityReport
     agreement: AgreementReport
     termination: TerminationReport
-    optimality: OptimalityReport
+    #: None when the trace has no stable-vector views at all — the
+    #: Byzantine sibling replaces the primitive with reliable broadcast,
+    #: so the Lemma 6 common view ``Z`` does not exist there and the
+    #: optimality claim is vacuous (benign, not a failure).
+    optimality: OptimalityReport | None
     stable_vector: StableVectorReport
 
     @property
@@ -267,18 +298,19 @@ class FullReport:
             self.validity.ok
             and self.agreement.ok
             and self.termination.ok
-            and self.optimality.ok
+            and (self.optimality is None or self.optimality.ok)
             and self.stable_vector.ok
         )
 
 
 def check_all(trace: ExecutionTrace, tol: float = INVARIANT_TOL) -> FullReport:
     """Run every invariant check on one execution."""
+    has_views = any(proc.r_view is not None for proc in trace.processes)
     return FullReport(
         validity=check_validity(trace, tol=tol),
         agreement=check_agreement(trace),
         termination=check_termination(trace),
-        optimality=check_optimality(trace, tol=tol),
+        optimality=check_optimality(trace, tol=tol) if has_views else None,
         stable_vector=check_stable_vector(trace),
     )
 
@@ -337,6 +369,9 @@ class StreamingInvariantChecker:
         self._traces = list(traces)
         self._n = config.n
         self._f = config.f
+        # Byzantine pids are outside the quantifier of every streamed
+        # property — their (honest-core) states are never checked.
+        self._byzantine = set(fault_plan.byzantine)
         incorrect = fault_plan.incorrect
         rows = [t.input_point for t in self._traces if t.pid not in incorrect]
         self._correct_hull = ConvexPolytope.from_points(np.array(rows))
@@ -358,6 +393,8 @@ class StreamingInvariantChecker:
             raise RuntimeError("poll() before bind(); attach to a run first")
         self.polls += 1
         for proc in self._traces:
+            if proc.pid in self._byzantine:
+                continue
             if proc.restarts != self._generations[proc.pid]:
                 self._generations[proc.pid] = proc.restarts
                 self._seen_states[proc.pid] = set()

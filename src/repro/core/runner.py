@@ -19,6 +19,7 @@ from ..runtime.faults import FaultPlan
 from ..runtime.scheduler import Scheduler, default_scheduler
 from ..runtime.simulator import SimulationReport, run_simulation
 from ..runtime.tracing import ExecutionTrace, ProcessTrace
+from .algorithm_bcc import BCCProcess
 from .algorithm_cc import CCProcess
 from .config import CCConfig
 
@@ -63,6 +64,7 @@ def build_config(
     *,
     input_bounds: tuple[float, float] | None = None,
     enforce_resilience: bool = True,
+    fault_model: str = "crash",
 ) -> CCConfig:
     """Construct a :class:`CCConfig` matching an input array."""
     pts = as_points_array(inputs)
@@ -79,6 +81,7 @@ def build_config(
         input_lower=lo,
         input_upper=hi,
         enforce_resilience=enforce_resilience,
+        fault_model=fault_model,
     )
 
 
@@ -116,8 +119,9 @@ def run_convex_hull_consensus(
     link_faults=None,
     reliable_transport: bool = True,
     checkpoint_store=None,
+    algorithm: str = "cc",
 ) -> CCResult:
-    """Run Algorithm CC on the given inputs under the given adversary.
+    """Run Algorithm CC (or its Byzantine sibling) under the given adversary.
 
     Parameters
     ----------
@@ -162,27 +166,56 @@ def run_convex_hull_consensus(
         :class:`~repro.runtime.checkpoint.DiskCheckpointStore` for
         crash-the-whole-harness durability.
 
+    algorithm:
+        ``"cc"`` (default) runs the paper's crash-model algorithm;
+        ``"bcc"`` runs the Byzantine sibling
+        (:class:`~repro.core.algorithm_bcc.BCCProcess`) at the
+        ``max(3f+1, (d+2)f+1)`` bound.  Either algorithm accepts a
+        fault plan with Byzantine specs — CC under a Byzantine plan is
+        the bound-gap probe (expected to break), BCC is expected to
+        survive it.
+
     Returns a :class:`CCResult`; raises
     :class:`~repro.core.algorithm_cc.EmptyInitialPolytopeError` if the
     round-0 intersection is empty (possible only below the bound).
     """
+    if algorithm not in ("cc", "bcc"):
+        raise ValueError(f"unknown algorithm {algorithm!r}; expected 'cc' or 'bcc'")
     pts = as_points_array(inputs)
+    plan = fault_plan or FaultPlan.none()
+    if algorithm == "bcc" and plan.recoveries:
+        raise ValueError(
+            "algorithm='bcc' does not support crash-recovery plans: a "
+            "restarted process cannot re-join its reliable-broadcast "
+            "instances (echoes are one-shot per tag)"
+        )
     config = build_config(
         pts,
         f,
         eps,
         input_bounds=input_bounds,
         enforce_resilience=enforce_resilience,
+        fault_model="byzantine" if algorithm == "bcc" else "crash",
     )
-    plan = fault_plan or FaultPlan.none()
+    if plan.byzantine and enforce_resilience:
+        # The bound-aware coherence check (satellite of the Byzantine
+        # axis): at most f Byzantine pids, and for BCC an n at or above
+        # the Byzantine bound.  CC runs check only the count — probing
+        # CC below the Byzantine bound *is* the bound-gap experiment.
+        plan.validate(
+            config.n,
+            dim=config.dim if algorithm == "bcc" else None,
+            f=config.f,
+        )
     sched = scheduler or default_scheduler(seed=seed)
     sched.reset()
 
     traces = [
         ProcessTrace(pid=i, input_point=pts[i].copy()) for i in range(config.n)
     ]
+    core_cls = BCCProcess if algorithm == "bcc" else CCProcess
     cores = [
-        CCProcess(pid=i, config=config, input_point=pts[i], trace=traces[i])
+        core_cls(pid=i, config=config, input_point=pts[i], trace=traces[i])
         for i in range(config.n)
     ]
     on_deliver = None

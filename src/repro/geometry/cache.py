@@ -124,6 +124,13 @@ class PerfCounters:
     process_recoveries: int = 0
     recovery_restarts: int = 0
     crashed_app_drops: int = 0
+    # Byzantine counters (repro.runtime.byzantine / .transport): frames
+    # scrambled on a corrupting link and dropped at the checksum gate,
+    # and the adversary's per-behavior mutation tallies.
+    corrupt_drops: int = 0
+    byz_equivocations: int = 0
+    byz_forgeries: int = 0
+    byz_omissions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

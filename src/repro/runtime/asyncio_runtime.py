@@ -162,6 +162,22 @@ class _AsyncRuntime:
                     )
                     await asyncio.sleep(min(backoff, 0.05))
                     attempt += 1
+                # Collapsed corruption: a scrambled frame dies at the
+                # receiver's checksum gate and is retransmitted, which in
+                # the collapsed model is another backoff sleep before the
+                # pristine copy lands.  Gated so corrupt-free links keep
+                # their historical RNG stream.
+                if spec.corrupt:
+                    while float(link_rng.random()) < spec.corrupt:
+                        PERF.corrupt_drops += 1
+                        PERF.retransmissions += 1
+                        from ..analysis.engine import retry_delay
+
+                        backoff = retry_delay(
+                            f"{src}->{dst}#{seq}x", attempt, self._step_seconds
+                        )
+                        await asyncio.sleep(min(backoff, 0.05))
+                        attempt += 1
                 extra = 0.0
                 if spec.delay:
                     extra += float(
@@ -314,12 +330,16 @@ def run_asyncio_simulation(
     from .recovery import RecoveryManager, make_recovery_setup
 
     store = make_recovery_setup(plan, checkpoint_store, core_factory)
+    from .byzantine import byzantine_engines
+
+    engines = byzantine_engines(plan, n)
     shells = [
         ProcessShell(
             core,
             transport,
             crash_spec=plan.crash_spec(core.pid),
             checkpoint_store=store,
+            byzantine=engines.get(core.pid),
         )
         for core in cores
     ]
@@ -338,6 +358,7 @@ def run_asyncio_simulation(
     undecided_alive = [
         s.pid for s in shells
         if s.alive and not s.done and not s.ever_crashed
+        and s.pid not in plan.byzantine
     ]
     if require_all_fault_free_decide and undecided_alive:
         raise SimulationError(
@@ -373,20 +394,33 @@ def run_asyncio_consensus(
     step_seconds: float | None = None,
     timeout: float = 120.0,
     checkpoint_store=None,
+    algorithm: str = "cc",
 ):
-    """Full Algorithm CC run on the asyncio runtime; returns a CCResult."""
+    """Full Algorithm CC (or BCC) run on the asyncio runtime; returns a CCResult."""
     from ..core.runner import CCResult, build_config, cc_core_factory
+    from ..core.algorithm_bcc import BCCProcess
     from ..core.algorithm_cc import CCProcess
     from .tracing import ExecutionTrace, ProcessTrace
 
+    if algorithm not in ("cc", "bcc"):
+        raise ValueError(f"unknown algorithm {algorithm!r}; expected 'cc' or 'bcc'")
     arr = np.asarray(inputs, dtype=float)
-    config = build_config(arr, f, eps, input_bounds=input_bounds)
     plan = fault_plan or FaultPlan.none()
+    if algorithm == "bcc" and plan.recoveries:
+        raise ValueError("algorithm='bcc' does not support crash-recovery plans")
+    config = build_config(
+        arr,
+        f,
+        eps,
+        input_bounds=input_bounds,
+        fault_model="byzantine" if algorithm == "bcc" else "crash",
+    )
     traces = [
         ProcessTrace(pid=i, input_point=arr[i].copy()) for i in range(config.n)
     ]
+    core_cls = BCCProcess if algorithm == "bcc" else CCProcess
     cores = [
-        CCProcess(pid=i, config=config, input_point=arr[i], trace=traces[i])
+        core_cls(pid=i, config=config, input_point=arr[i], trace=traces[i])
         for i in range(config.n)
     ]
     factory = (

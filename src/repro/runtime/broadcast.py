@@ -1,0 +1,171 @@
+"""Bracha reliable broadcast — the substrate of the Byzantine sibling.
+
+The crash-model algorithm trusts every received message; under Byzantine
+faults that trust is exactly what equivocation exploits.  This module
+implements the classic Bracha (1987) reliable-broadcast primitive that
+``algorithm_bcc`` layers under every protocol message:
+
+* the origin sends ``BBroadcast(tag, body)`` to everyone;
+* a receiver echoes the *first* body it sees from that origin for that
+  tag (``BEcho``) — one echo per tag, so an equivocating origin splits
+  the echo vote instead of winning it twice;
+* at ``ceil((n+f+1)/2)`` matching echoes a receiver sends ``BReady``
+  (once per tag); at ``f+1`` matching readies it sends its own ready
+  even without the echo quorum (amplification); at ``2f+1`` matching
+  readies it *RB-delivers* the body.
+
+With ``n >= 3f+1`` this gives the two properties the sibling algorithm
+builds on: **consistency** (no two correct processes RB-deliver
+different bodies for the same tag — the quorum-intersection argument)
+and **totality** (if any correct process delivers, every correct process
+eventually delivers — ready amplification).  An origin's *own* echo and
+ready are counted locally, never sent to itself: the structural network
+(:mod:`repro.runtime.network`) rejects self-messages, and the arithmetic
+is identical.
+
+The engine is pure protocol logic in the repo's core idiom: feed it
+payloads, get back ``(outgoing, delivered)`` — no I/O, no randomness,
+deterministic iteration everywhere, so executions replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .messages import BBroadcast, BEcho, BReady, Payload
+
+#: An RB delivery event: ``(origin, round_index, body)``.
+Delivery = tuple[int, int, tuple]
+
+#: Outgoing message in the core idiom: (dst | None-for-broadcast, payload).
+Outgoing = tuple[int | None, Payload]
+
+
+@dataclass
+class _Instance:
+    """Per-tag (origin, round_index) broadcast state at one process."""
+
+    echoes: dict[tuple, set[int]] = field(default_factory=dict)
+    readies: dict[tuple, set[int]] = field(default_factory=dict)
+    echoed: bool = False
+    ready_body: tuple | None = None
+    delivered: bool = False
+
+
+class BrachaBroadcast:
+    """One process's view of every reliable-broadcast instance.
+
+    ``n >= 3f+1`` is required for the quorum arithmetic; the caller
+    (``algorithm_bcc`` via its config) enforces the bound.
+    """
+
+    def __init__(self, pid: int, n: int, f: int):
+        if n < 1:
+            raise ValueError(f"need at least one process, got n={n}")
+        if f < 0:
+            raise ValueError(f"f must be >= 0, got {f}")
+        self.pid = pid
+        self.n = n
+        self.f = f
+        #: Echo quorum: any two quorums intersect in > f processes.
+        self.echo_quorum = math.ceil((n + f + 1) / 2)
+        #: Readies required to amplify one's own ready.
+        self.ready_amplify = f + 1
+        #: Readies required to RB-deliver.
+        self.deliver_quorum = 2 * f + 1
+        self._instances: dict[tuple[int, int], _Instance] = {}
+
+    # ------------------------------------------------------------------
+    def broadcast(self, round_index: int, body: tuple) -> tuple[list[Outgoing], list[Delivery]]:
+        """Originate a broadcast; returns messages to send + own deliveries.
+
+        The origin processes its own ``BBroadcast`` locally (it is a
+        receiver like any other), so its echo/ready are counted without
+        self-messages; with ``n = 1`` the body RB-delivers immediately.
+        """
+        payload = BBroadcast(origin=self.pid, round_index=round_index, body=body)
+        out: list[Outgoing] = [(None, payload)]
+        more, delivered = self.on_payload(payload, self.pid)
+        out.extend(more)
+        return out, delivered
+
+    def on_payload(self, payload: Payload, src: int) -> tuple[list[Outgoing], list[Delivery]]:
+        """Feed one RB payload; returns (messages to send, deliveries)."""
+        if not isinstance(payload, (BBroadcast, BEcho, BReady)):
+            raise TypeError(f"not a reliable-broadcast payload: {payload!r}")
+        tag = (payload.origin, payload.round_index)
+        inst = self._instances.setdefault(tag, _Instance())
+        if isinstance(payload, BBroadcast):
+            if payload.origin != src:
+                # Impersonation: only the origin itself may open its
+                # instance.  (Byzantine relays can still echo lies; the
+                # echo quorum is what defeats those.)
+                return [], []
+            if inst.echoed:
+                # Equivocation guard: echo only the first body.
+                return [], []
+            inst.echoed = True
+            inst.echoes.setdefault(payload.body, set()).add(self.pid)
+            out: list[Outgoing] = [
+                (None, BEcho(origin=payload.origin, round_index=payload.round_index, body=payload.body))
+            ]
+            more, delivered = self._progress(tag, inst)
+            return out + more, delivered
+        if isinstance(payload, BEcho):
+            inst.echoes.setdefault(payload.body, set()).add(src)
+            return self._progress(tag, inst)
+        assert isinstance(payload, BReady)
+        inst.readies.setdefault(payload.body, set()).add(src)
+        return self._progress(tag, inst)
+
+    # ------------------------------------------------------------------
+    def _progress(self, tag: tuple[int, int], inst: _Instance) -> tuple[list[Outgoing], list[Delivery]]:
+        """Fire every newly-enabled transition for one instance.
+
+        Loops to a fixpoint because one transition enables the next
+        (own ready counts toward the delivery quorum — with small ``n``
+        a single payload can walk echo -> ready -> deliver).
+        """
+        origin, round_index = tag
+        out: list[Outgoing] = []
+        delivered: list[Delivery] = []
+        changed = True
+        while changed:
+            changed = False
+            if inst.ready_body is None:
+                body = self._body_at(inst.echoes, self.echo_quorum)
+                if body is None:
+                    body = self._body_at(inst.readies, self.ready_amplify)
+                if body is not None:
+                    inst.ready_body = body
+                    inst.readies.setdefault(body, set()).add(self.pid)
+                    out.append(
+                        (None, BReady(origin=origin, round_index=round_index, body=body))
+                    )
+                    changed = True
+            if not inst.delivered:
+                body = self._body_at(inst.readies, self.deliver_quorum)
+                if body is not None:
+                    inst.delivered = True
+                    delivered.append((origin, round_index, body))
+                    changed = True
+        return out, delivered
+
+    @staticmethod
+    def _body_at(votes: dict[tuple, set[int]], quorum: int) -> tuple | None:
+        """The first body with at least ``quorum`` votes (insertion order).
+
+        At the echo quorum (> n/2) and the delivery quorum at most one
+        body can ever qualify, so "first" is not a choice; at the
+        amplification threshold insertion order is deterministic per
+        execution, which is all replay needs.
+        """
+        for body, pids in votes.items():
+            if len(pids) >= quorum:
+                return body
+        return None
+
+    # ------------------------------------------------------------------
+    def delivered_count(self) -> int:
+        return sum(1 for inst in self._instances.values() if inst.delivered)

@@ -24,13 +24,29 @@ from checkpoint, ``amnesia`` — rejoin with only the initial input,
 incoherent schedules: recoveries without a crash spec, or a recovery at
 or before the crash instant.
 
+The model extends further to **Byzantine faults**: a process carrying a
+:class:`ByzantineSpec` runs the honest protocol core but lies on the
+wire — its outgoing payloads are mutated per destination by a seeded
+adversary (:mod:`repro.runtime.byzantine`) that can *equivocate* (send
+different values to different peers), *forge* (replace values with
+off-hull fabrications), and *omit* (selectively drop sends).  Byzantine
+pids are a subset of ``faulty`` and are disjoint from crashing pids: a
+crash is a *stopping* failure, Byzantine is a *lying* one, and the
+resilience bounds they are charged against differ (see
+``core/config.py::byzantine_required_processes``).
+
 Beyond process faults, this module also declares **link faults** — the
-loss, duplication, delay/reorder, and partition behaviour of the
-:class:`~repro.runtime.transport.LossyFabric`.  The paper *postulates*
-reliable FIFO exactly-once channels; a :class:`LinkFaultSpec` describes
-how far a physical link deviates from that postulate, and the
-:class:`~repro.runtime.transport.ReliableTransport` layer is what earns
-the postulate back (see ``docs/FAULT_MODEL.md``).
+loss, duplication, corruption, delay/reorder, and partition behaviour of
+the :class:`~repro.runtime.transport.LossyFabric`.  The paper
+*postulates* reliable FIFO exactly-once channels; a
+:class:`LinkFaultSpec` describes how far a physical link deviates from
+that postulate, and the :class:`~repro.runtime.transport.
+ReliableTransport` layer is what earns the postulate back (see
+``docs/FAULT_MODEL.md``).  Frame corruption (``corrupt``) is the
+link-level shadow of a payload-tampering adversary: the transport's
+checksums detect it and retransmission repairs it, which is exactly why
+:class:`ByzantineSpec` has no frame-corruption behaviour of its own —
+a corrupting adversary is subsumed by transient loss.
 """
 
 from __future__ import annotations
@@ -108,6 +124,94 @@ class RecoverySpec:
             )
 
 
+# Byzantine wire behaviours (see docs/FAULT_MODEL.md for the taxonomy).
+EQUIVOCATE = "equivocate"
+FORGE = "forge"
+OMIT = "omit"
+
+BYZANTINE_BEHAVIORS = (EQUIVOCATE, FORGE, OMIT)
+
+
+@dataclass(frozen=True)
+class ByzantineSpec:
+    """Adversarial wire behaviour of one Byzantine process.
+
+    The process's protocol core runs honestly; the lie happens in the
+    shell, per outgoing point-to-point send, driven by a dedicated RNG
+    stream ``default_rng([seed, pid])`` so executions stay bit-
+    reproducible and independent of the schedule.
+
+    ``behaviors``
+        which lies the adversary may tell (any non-empty subset of
+        :data:`BYZANTINE_BEHAVIORS`):
+
+        ``equivocate``
+            mutate the payload *differently per destination* — the
+            classic split-brain attack a reliable broadcast must defeat;
+        ``forge``
+            replace the payload's value with a fabricated one (off-hull
+            points up to ``magnitude``), *consistently* across
+            destinations, so the forgery survives echo certification and
+            attacks the geometry instead of the broadcast layer;
+        ``omit``
+            silently drop the send — the selective-silence lie;
+    ``rate``
+        probability each outgoing send is attacked at all (1.0 = every
+        send);
+    ``magnitude``
+        coordinate bound of forged values and equivocation jitter;
+    ``seed``
+        root of the adversary's RNG stream.
+
+    Frame *corruption* is deliberately absent: payload checksums in the
+    reliable transport detect a corrupted frame and retransmission
+    repairs it, so a frame-corrupting adversary degenerates to link loss
+    — model it with :attr:`LinkFaultSpec.corrupt` instead.
+    """
+
+    behaviors: tuple[str, ...] = BYZANTINE_BEHAVIORS
+    rate: float = 1.0
+    magnitude: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "behaviors", tuple(dict.fromkeys(self.behaviors))
+        )
+        if not self.behaviors:
+            raise ValueError(
+                "a Byzantine spec needs at least one behavior "
+                f"(choose from {BYZANTINE_BEHAVIORS})"
+            )
+        unknown = [b for b in self.behaviors if b not in BYZANTINE_BEHAVIORS]
+        if unknown:
+            raise ValueError(
+                f"unknown Byzantine behaviors {unknown}; "
+                f"valid: {BYZANTINE_BEHAVIORS}"
+            )
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {self.rate}")
+        if self.magnitude <= 0:
+            raise ValueError(f"magnitude must be > 0, got {self.magnitude}")
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "behaviors": list(self.behaviors),
+            "rate": self.rate,
+            "magnitude": self.magnitude,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ByzantineSpec":
+        return cls(
+            behaviors=tuple(data.get("behaviors", BYZANTINE_BEHAVIORS)),
+            rate=float(data.get("rate", 1.0)),
+            magnitude=float(data.get("magnitude", 8.0)),
+            seed=int(data.get("seed", 0)),
+        )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Which processes are faulty, when they crash, whose inputs are wrong.
@@ -124,11 +228,18 @@ class FaultPlan:
     crashes: dict[int, CrashSpec] = field(default_factory=dict)
     incorrect_inputs: frozenset[int] | None = None
     recoveries: dict[int, RecoverySpec] = field(default_factory=dict)
+    byzantine: dict[int, ByzantineSpec] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.validate()
 
-    def validate(self, n: int | None = None) -> "FaultPlan":
+    def validate(
+        self,
+        n: int | None = None,
+        *,
+        dim: int | None = None,
+        f: int | None = None,
+    ) -> "FaultPlan":
         """Check internal consistency; with ``n``, also check pid ranges.
 
         ``__post_init__`` runs the n-free part at construction, but
@@ -137,6 +248,13 @@ class FaultPlan:
         against ``n`` before a run.  An inconsistent plan previously
         surfaced as an opaque ``KeyError``/silent no-op deep inside the
         delivery loop; this raises immediately with the actual mistake.
+
+        With ``dim`` and ``f`` (passed by the consensus runner when
+        resilience enforcement is on), a plan with Byzantine specs is
+        additionally checked against the configured bound mode: at most
+        ``f`` Byzantine processes, and ``n`` at or above the Byzantine
+        resilience bound ``max(3f+1, (d+2)f+1)``.  Probe experiments
+        that deliberately break the bound skip this by not passing them.
         """
         unknown = set(self.crashes) - set(self.faulty)
         if unknown:
@@ -167,6 +285,25 @@ class FaultPlan:
                     f"recovery spec for process {pid} is "
                     f"{type(rspec).__name__}, expected RecoverySpec"
                 )
+        stray_byz = set(self.byzantine) - set(self.faulty)
+        if stray_byz:
+            raise ValueError(
+                f"Byzantine specs for non-faulty processes: "
+                f"{sorted(stray_byz)}"
+            )
+        both = set(self.byzantine) & set(self.crashes)
+        if both:
+            raise ValueError(
+                f"processes {sorted(both)} are both crashed and Byzantine; "
+                "a crash is a stopping failure, Byzantine is a lying one — "
+                "pick one per pid"
+            )
+        for pid, bspec in self.byzantine.items():
+            if not isinstance(bspec, ByzantineSpec):
+                raise ValueError(
+                    f"Byzantine spec for process {pid} is "
+                    f"{type(bspec).__name__}, expected ByzantineSpec"
+                )
         if n is not None:
             out_of_range = sorted(
                 pid for pid in self.faulty if not 0 <= pid < n
@@ -175,6 +312,21 @@ class FaultPlan:
                 raise ValueError(
                     f"faulty pids {out_of_range} outside the system "
                     f"(valid pids: 0..{n - 1})"
+                )
+        if self.byzantine and f is not None and len(self.byzantine) > f:
+            raise ValueError(
+                f"{len(self.byzantine)} Byzantine processes exceed the "
+                f"configured tolerance f={f}"
+            )
+        if self.byzantine and dim is not None and f is not None:
+            from ..core.config import byzantine_required_processes
+
+            if n is not None and n < byzantine_required_processes(dim, f):
+                raise ValueError(
+                    f"n={n} is below the Byzantine resilience bound "
+                    f"max(3f+1, (d+2)f+1) = "
+                    f"{byzantine_required_processes(dim, f)} "
+                    f"for d={dim}, f={f}"
                 )
         return self
 
@@ -190,6 +342,13 @@ class FaultPlan:
 
     def recovery_spec(self, pid: int) -> RecoverySpec | None:
         return self.recoveries.get(pid)
+
+    def byzantine_spec(self, pid: int) -> ByzantineSpec | None:
+        return self.byzantine.get(pid)
+
+    @property
+    def has_byzantine(self) -> bool:
+        return bool(self.byzantine)
 
     @property
     def has_durable_recovery(self) -> bool:
@@ -240,6 +399,24 @@ class FaultPlan:
         """Faulty (incorrect inputs) but never crashing - Theorem 3's case."""
         return FaultPlan(faulty=frozenset(pids))
 
+    @staticmethod
+    def byzantine_at(
+        pids,
+        *,
+        behaviors: tuple[str, ...] = BYZANTINE_BEHAVIORS,
+        rate: float = 1.0,
+        magnitude: float = 8.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Convenience: every pid Byzantine with one shared behaviour set."""
+        members = frozenset(int(p) for p in pids)
+        spec = ByzantineSpec(
+            behaviors=behaviors, rate=rate, magnitude=magnitude, seed=seed
+        )
+        return FaultPlan(
+            faulty=members, byzantine={pid: spec for pid in sorted(members)}
+        )
+
 
 # ----------------------------------------------------------------------
 # Link faults: the fair-lossy fabric beneath the reliable transport
@@ -269,6 +446,14 @@ class LinkFaultSpec:
         probability an accepted frame draws an *additional* large delay
         (up to ``3 * (delay + 1)`` steps) — the jitter that makes frames
         overtake each other even on otherwise fast links;
+    ``corrupt``
+        probability an accepted frame's bits are flipped in flight: the
+        fabric scrambles the frame's payload checksum, the receiving
+        transport detects the mismatch, drops the frame (counted in
+        ``PERF.corrupt_drops``), and retransmission repairs it — so a
+        corrupted frame never crosses the app delivery boundary.  Like
+        ``loss``, must stay below 1 (a link corrupting everything
+        forever is a partition and must be declared as one);
     ``partitions``
         ``(start, heal)`` clock intervals during which the link carries
         nothing: frames transmitted inside an interval are dropped, and
@@ -280,15 +465,21 @@ class LinkFaultSpec:
     dup: float = 0.0
     delay: int = 0
     reorder: float = 0.0
+    corrupt: float = 0.0
     partitions: tuple[tuple[int, int | None], ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("loss", "dup", "reorder"):
+        for name in ("loss", "dup", "reorder", "corrupt"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {p}")
         if self.loss >= 1.0:
             raise ValueError("loss must be < 1 (a fair-lossy link)")
+        if self.corrupt >= 1.0:
+            raise ValueError(
+                "corrupt must be < 1 (a link corrupting every frame "
+                "forever is a partition; declare it as one)"
+            )
         if self.delay < 0:
             raise ValueError("delay must be >= 0")
         object.__setattr__(
@@ -310,7 +501,7 @@ class LinkFaultSpec:
         """True when this link deviates from a perfect link at all."""
         return bool(
             self.loss or self.dup or self.delay or self.reorder
-            or self.partitions
+            or self.corrupt or self.partitions
         )
 
     def partitioned_at(self, clock: int) -> bool:
@@ -333,6 +524,7 @@ class LinkFaultSpec:
             "dup": self.dup,
             "delay": self.delay,
             "reorder": self.reorder,
+            "corrupt": self.corrupt,
             "partitions": [list(iv) for iv in self.partitions],
         }
 
@@ -343,6 +535,8 @@ class LinkFaultSpec:
             dup=float(data.get("dup", 0.0)),
             delay=int(data.get("delay", 0)),
             reorder=float(data.get("reorder", 0.0)),
+            # .get: pre-corruption archives have no "corrupt" key.
+            corrupt=float(data.get("corrupt", 0.0)),
             partitions=tuple(
                 (int(iv[0]), None if iv[1] is None else int(iv[1]))
                 for iv in data.get("partitions", ())
@@ -401,13 +595,15 @@ class LinkFaultPlan:
         dup: float = 0.0,
         delay: int = 0,
         reorder: float = 0.0,
+        corrupt: float = 0.0,
         *,
         seed: int = 0,
     ) -> "LinkFaultPlan":
         """Same lossy behaviour on every link."""
         return LinkFaultPlan(
             default=LinkFaultSpec(
-                loss=loss, dup=dup, delay=delay, reorder=reorder
+                loss=loss, dup=dup, delay=delay, reorder=reorder,
+                corrupt=corrupt,
             ),
             seed=seed,
         )
@@ -441,6 +637,7 @@ class LinkFaultPlan:
             dup=base.dup,
             delay=base.delay,
             reorder=base.reorder,
+            corrupt=base.corrupt,
             partitions=base.partitions + ((start, heal),),
         )
         links = {

@@ -51,12 +51,16 @@ def run_lockstep_simulation(
     from .recovery import RecoveryManager, make_recovery_setup
 
     store = make_recovery_setup(plan, checkpoint_store, core_factory)
+    from .byzantine import byzantine_engines
+
+    engines = byzantine_engines(plan, n)
     shells = [
         ProcessShell(
             core,
             network,
             crash_spec=plan.crash_spec(core.pid),
             checkpoint_store=store,
+            byzantine=engines.get(core.pid),
         )
         for core in cores
     ]
@@ -137,6 +141,7 @@ def run_lockstep_simulation(
     undecided_alive = [
         s.pid for s in shells
         if s.alive and not s.done and not s.ever_crashed
+        and s.pid not in plan.byzantine
     ]
     if require_all_fault_free_decide and undecided_alive:
         raise SimulationError(
@@ -167,22 +172,35 @@ def run_lockstep_consensus(
     fault_plan: FaultPlan | None = None,
     input_bounds: tuple[float, float] | None = None,
     checkpoint_store=None,
+    algorithm: str = "cc",
 ):
-    """Full Algorithm CC run in lockstep; returns a CCResult."""
+    """Full Algorithm CC (or BCC) run in lockstep; returns a CCResult."""
     import numpy as np
 
+    from ..core.algorithm_bcc import BCCProcess
     from ..core.algorithm_cc import CCProcess
     from ..core.runner import CCResult, build_config, cc_core_factory
     from .tracing import ExecutionTrace, ProcessTrace
 
+    if algorithm not in ("cc", "bcc"):
+        raise ValueError(f"unknown algorithm {algorithm!r}; expected 'cc' or 'bcc'")
     arr = np.asarray(inputs, dtype=float)
-    config = build_config(arr, f, eps, input_bounds=input_bounds)
     plan = fault_plan or FaultPlan.none()
+    if algorithm == "bcc" and plan.recoveries:
+        raise ValueError("algorithm='bcc' does not support crash-recovery plans")
+    config = build_config(
+        arr,
+        f,
+        eps,
+        input_bounds=input_bounds,
+        fault_model="byzantine" if algorithm == "bcc" else "crash",
+    )
     traces = [
         ProcessTrace(pid=i, input_point=arr[i].copy()) for i in range(config.n)
     ]
+    core_cls = BCCProcess if algorithm == "bcc" else CCProcess
     cores = [
-        CCProcess(pid=i, config=config, input_point=arr[i], trace=traces[i])
+        core_cls(pid=i, config=config, input_point=arr[i], trace=traces[i])
         for i in range(config.n)
     ]
     factory = (

@@ -69,7 +69,41 @@ class RoundMessage:
     round_index: int
 
 
-Payload = Union[SVInit, SVView, RoundMessage]
+@dataclass(frozen=True)
+class BBroadcast:
+    """Bracha reliable-broadcast origin message (Byzantine sibling).
+
+    ``origin`` is the claimed originator (receivers check it against the
+    envelope source), ``round_index`` tags the protocol round the body
+    belongs to (round 0: the origin's input point; round t >= 1: the
+    sorted tuple of level-(t-1) senders the origin's state was built
+    from), and ``body`` is the hashable content itself.
+    """
+
+    origin: int
+    round_index: int
+    body: tuple
+
+
+@dataclass(frozen=True)
+class BEcho:
+    """Bracha echo: "I received this exact body from the origin"."""
+
+    origin: int
+    round_index: int
+    body: tuple
+
+
+@dataclass(frozen=True)
+class BReady:
+    """Bracha ready: "enough echoes/readies — I commit to this body"."""
+
+    origin: int
+    round_index: int
+    body: tuple
+
+
+Payload = Union[SVInit, SVView, RoundMessage, BBroadcast, BEcho, BReady]
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,11 @@ the fault model needs:
   is actually enqueued,
 * keeping the core responsive after it has decided (stable-vector echoes
   must continue or slower processes would starve), and dropping all
-  activity after a crash.
+  activity after a crash,
+* routing outgoing payloads through a
+  :class:`~repro.runtime.byzantine.ByzantineEngine` when the process is
+  Byzantine — the honest-core / lying-shell model: the core never knows
+  it is the adversary.
 """
 
 from __future__ import annotations
@@ -69,11 +73,17 @@ class ProcessShell:
         network: Network,
         crash_spec: CrashSpec | None = None,
         checkpoint_store=None,
+        byzantine=None,
     ):
         self.core = core
         self.network = network
         self.crash_spec = crash_spec
         self.checkpoint_store = checkpoint_store
+        # A ByzantineEngine (repro.runtime.byzantine) or None.  The
+        # honest-core/lying-shell split lives entirely in _dispatch:
+        # without an engine, the send path is byte-for-byte the
+        # pre-Byzantine code.
+        self.byzantine = byzantine
         self.crashed = False
         self.crash_fired_round: int | None = None
         self.recovered = False
@@ -179,7 +189,16 @@ class ProcessShell:
                     self.crashed = True
                     self.crash_fired_round = send_round
                     return
-                self.network.send(self.pid, destination, payload, send_round)
+                wire = payload
+                if self.byzantine is not None:
+                    wire = self.byzantine.mutate(payload, destination)
+                    if wire is None:
+                        # Silent omission: nothing leaves, nothing is
+                        # counted — to everyone else this send never
+                        # happened (Byzantine pids never also crash, so
+                        # the crash triggers' send counts are unaffected).
+                        continue
+                self.network.send(self.pid, destination, wire, send_round)
                 self.sends_in_round[send_round] += 1
                 self.protocol_sends[semantic_round] += 1
 

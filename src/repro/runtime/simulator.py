@@ -126,12 +126,16 @@ def run_simulation(
     from .recovery import RecoveryManager, make_recovery_setup
 
     store = make_recovery_setup(plan, checkpoint_store, core_factory)
+    from .byzantine import byzantine_engines
+
+    engines = byzantine_engines(plan, n)
     shells = [
         ProcessShell(
             core,
             network,
             crash_spec=plan.crash_spec(core.pid),
             checkpoint_store=store,
+            byzantine=engines.get(core.pid),
         )
         for core in cores
     ]
@@ -208,9 +212,12 @@ def run_simulation(
 
     decided = [s.pid for s in shells if s.done]
     crashed = [s.pid for s in shells if s.crashed]
+    # Byzantine pids are exempt from the termination demand: an adversary
+    # sabotaging its own broadcasts can legitimately never decide.
     undecided_alive = [
         s.pid for s in shells
         if s.alive and not s.done and not s.ever_crashed
+        and s.pid not in plan.byzantine
     ]
     if require_all_fault_free_decide and undecided_alive:
         raise SimulationError(

@@ -7,7 +7,10 @@ deployment would, by layering:
 
 1. :class:`LossyFabric` — a fair-lossy physical layer.  Per directed
    link, frames are dropped, duplicated, delayed (and thereby
-   reordered), or blackholed during partition intervals, according to a
+   reordered), corrupted (their integrity checksum scrambled, so the
+   receive path detects and discards them — ``corrupt_drops`` — and
+   retransmission recovers), or blackholed during partition intervals,
+   according to a
    :class:`~repro.runtime.faults.LinkFaultSpec` and a deterministic
    per-link RNG stream (``default_rng([seed, src, dst])``), so every
    execution is bit-reproducible per seed.
@@ -102,6 +105,27 @@ class Frame:
     attempt: int = 0
     release: int = field(default=0, compare=False)
     order: int = field(default=0, compare=False)
+    #: Integrity checksum stamped by the transport at send time; ``None``
+    #: means "unchecked" (frames built directly by tests).  A corrupting
+    #: link scrambles this field; the receive path verifies it before any
+    #: transport processing, so a damaged frame is dropped and recovered
+    #: by retransmission instead of reaching the application.
+    checksum: int | None = field(default=None, compare=False)
+
+
+def frame_checksum(frame: Frame) -> int:
+    """Checksum over a frame's identity and payload.
+
+    Payloads are frozen, hashable dataclasses, so Python's tuple hash is
+    a deterministic within-process digest of every field the application
+    will ever see.  The checksum's *value* is never observable (drops and
+    retransmissions depend only on match/mismatch, and a scrambled field
+    mismatches by construction), so hash randomization across OS
+    processes cannot perturb replays.
+    """
+    return hash(
+        (frame.kind, frame.src, frame.dst, frame.seq, frame.send_round, frame.payload)
+    )
 
 
 class LossyFabric:
@@ -178,6 +202,12 @@ class LossyFabric:
                 fr.release += int(rng.integers(0, spec.delay + 1))
             if spec.reorder and rng.random() < spec.reorder:
                 fr.release += int(rng.integers(1, 3 * (spec.delay + 1) + 1))
+            # Corruption roll last, gated on the axis being active, so
+            # links without a corrupt rate consume the exact same RNG
+            # stream as before the axis existed (replay compatibility).
+            if spec.corrupt and rng.random() < spec.corrupt:
+                flip = 1 + int(rng.integers(0, 1 << 30))
+                fr.checksum = (fr.checksum or 0) ^ flip
             self._enqueue(fr)
         return True
 
@@ -313,6 +343,7 @@ class TransportNetwork:
             send_round=send_round,
             payload=payload,
         )
+        frame.checksum = frame_checksum(frame)
         self.messages_sent += 1
         if self.reliable:
             self._unacked.setdefault(link, {})[seq] = _Pending(
@@ -329,6 +360,14 @@ class TransportNetwork:
     # -- receive path ------------------------------------------------------
     def on_frame(self, frame: Frame) -> list[Frame]:
         """Process one fabric delivery; returns in-order app-ready frames."""
+        # Integrity gate first: a frame damaged on a corrupting link is
+        # dropped before any transport state is touched — DATA and ACK
+        # alike.  The pristine copy stays in the retransmit queue, so
+        # reliable mode recovers; the application boundary never sees a
+        # corrupted payload.
+        if frame.checksum is not None and frame.checksum != frame_checksum(frame):
+            PERF.corrupt_drops += 1
+            return []
         if frame.kind == ACK:
             self._on_ack(frame)
             return []
@@ -461,9 +500,9 @@ class TransportNetwork:
     def _send_ack(self, link: tuple[int, int]) -> None:
         src, dst = link
         PERF.ack_messages += 1
-        self.fabric.send(
-            Frame(kind=ACK, src=dst, dst=src, seq=self._expected.get(link, 0))
-        )
+        ack = Frame(kind=ACK, src=dst, dst=src, seq=self._expected.get(link, 0))
+        ack.checksum = frame_checksum(ack)
+        self.fabric.send(ack)
 
     # -- timers ------------------------------------------------------------
     def _rto(self, link: tuple[int, int], seq: int, attempt: int) -> int:
@@ -569,12 +608,16 @@ def run_transport_simulation(
     from .recovery import RecoveryManager, make_recovery_setup
 
     store = make_recovery_setup(plan, checkpoint_store, core_factory)
+    from .byzantine import byzantine_engines
+
+    engines = byzantine_engines(plan, n)
     shells = [
         ProcessShell(
             core,
             transport,
             crash_spec=plan.crash_spec(core.pid),
             checkpoint_store=store,
+            byzantine=engines.get(core.pid),
         )
         for core in cores
     ]
@@ -676,6 +719,7 @@ def run_transport_simulation(
     undecided_alive = [
         s.pid for s in shells
         if s.alive and not s.done and not s.ever_crashed
+        and s.pid not in plan.byzantine
     ]
     if require_all_fault_free_decide and undecided_alive:
         raise SimulationError(

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.config import CCConfig, ResilienceError, required_processes
+from repro.core.config import (
+    CCConfig,
+    ResilienceError,
+    byzantine_required_processes,
+    required_processes,
+)
 
 
 class TestResilience:
@@ -26,6 +31,25 @@ class TestResilience:
     def test_f_zero(self):
         config = CCConfig(n=1, f=0, dim=3, eps=0.1)
         assert config.quorum == 1
+
+    def test_byzantine_bound_is_max_of_rb_and_crash(self):
+        # Low dimension: the RB term 3f+1 dominates; high dimension:
+        # the geometric term (d+2)f+1 takes over.
+        assert byzantine_required_processes(1, 1) == 4
+        assert byzantine_required_processes(1, 2) == 7
+        assert byzantine_required_processes(2, 1) == 5
+        assert byzantine_required_processes(3, 2) == 11
+        assert byzantine_required_processes(1, 0) == 1
+
+    def test_byzantine_fault_model_selects_its_bound(self):
+        with pytest.raises(ResilienceError):
+            CCConfig(n=6, f=2, dim=1, eps=0.1, fault_model="byzantine")
+        config = CCConfig(n=7, f=2, dim=1, eps=0.1, fault_model="byzantine")
+        assert config.required_n == byzantine_required_processes(1, 2)
+
+    def test_unknown_fault_model_rejected(self):
+        with pytest.raises(ValueError, match="fault model"):
+            CCConfig(n=5, f=1, dim=1, eps=0.1, fault_model="omission")
 
 
 class TestValidation:

@@ -1,0 +1,158 @@
+"""Bracha reliable broadcast: consistency, totality, equivocation defense."""
+
+from collections import defaultdict, deque
+
+import pytest
+
+from repro.runtime.broadcast import BrachaBroadcast
+from repro.runtime.messages import BBroadcast, BEcho, SVInit
+
+
+def flood(procs, events, drop=frozenset()):
+    """Deliver every outgoing message FIFO until quiescence.
+
+    ``events`` is a list of ``(src, dst_or_None, payload)``; ``None``
+    fans out to every process except the sender.  Returns pid ->
+    accumulated RB deliveries.
+    """
+    queue = deque(events)
+    delivered = defaultdict(list)
+    while queue:
+        src, dst, payload = queue.popleft()
+        targets = [dst] if dst is not None else [p for p in procs if p != src]
+        for target in targets:
+            if target in drop or target not in procs:
+                continue
+            out, dels = procs[target].on_payload(payload, src)
+            delivered[target].extend(dels)
+            for nxt_dst, nxt_payload in out:
+                queue.append((target, nxt_dst, nxt_payload))
+    return delivered
+
+
+def make_procs(n, f):
+    return {i: BrachaBroadcast(i, n, f) for i in range(n)}
+
+
+class TestHappyPath:
+    def test_all_processes_deliver_origin_body(self):
+        procs = make_procs(4, 1)
+        body = (0.25, -1.5)
+        out, own = procs[0].broadcast(0, body)
+        events = [(0, dst, payload) for dst, payload in out]
+        delivered = flood(procs, events)
+        delivered[0].extend(own)
+        for pid in procs:
+            assert delivered[pid] == [(0, 0, body)]
+
+    def test_delivery_is_exactly_once(self):
+        procs = make_procs(4, 1)
+        out, own = procs[0].broadcast(3, (1.0,))
+        # Deliver the whole flood twice: duplicates must not re-deliver.
+        events = [(0, dst, payload) for dst, payload in out] * 2
+        delivered = flood(procs, events)
+        delivered[0].extend(own)
+        for pid in procs:
+            assert delivered[pid].count((0, 3, (1.0,))) == 1
+
+    def test_single_process_system_delivers_immediately(self):
+        rb = BrachaBroadcast(0, 1, 0)
+        out, delivered = rb.broadcast(0, (2.0,))
+        assert delivered == [(0, 0, (2.0,))]
+
+    def test_concurrent_tags_are_independent(self):
+        procs = make_procs(4, 1)
+        events = []
+        for origin in range(4):
+            out, _ = procs[origin].broadcast(0, (float(origin),))
+            events.extend((origin, dst, p) for dst, p in out)
+        delivered = flood(procs, events)
+        for pid in procs:
+            bodies = {d for d in delivered[pid] if d[0] != pid}
+            assert bodies == {
+                (o, 0, (float(o),)) for o in range(4) if o != pid
+            }
+
+
+class TestAdversary:
+    def test_equivocating_origin_never_splits_delivery(self):
+        # Origin 0 is Byzantine: body A to 1, body B to 2 and 3.  The
+        # echo-once rule plus the >(n+f)/2 echo quorum means at most one
+        # body can ever gather a quorum — here neither does, and no
+        # correct process delivers anything.
+        procs = {i: BrachaBroadcast(i, 4, 1) for i in range(1, 4)}
+        a = BBroadcast(origin=0, round_index=0, body=(1.0,))
+        b = BBroadcast(origin=0, round_index=0, body=(2.0,))
+        delivered = flood(procs, [(0, 1, a), (0, 2, b), (0, 3, b)])
+        bodies = {d[2] for dels in delivered.values() for d in dels}
+        assert len(bodies) <= 1
+
+    def test_equivocation_with_duplicit_echo_still_consistent(self):
+        # The Byzantine origin also echoes both bodies itself, trying to
+        # push each to quorum.  Echo quorum is 3: body B reaches it
+        # (pids 0, 2, 3), body A stalls at 2 — only B can deliver.
+        procs = {i: BrachaBroadcast(i, 4, 1) for i in range(1, 4)}
+        a = BBroadcast(origin=0, round_index=0, body=(1.0,))
+        b = BBroadcast(origin=0, round_index=0, body=(2.0,))
+        events = [
+            (0, 1, a),
+            (0, 2, b),
+            (0, 3, b),
+            (0, None, BEcho(origin=0, round_index=0, body=(1.0,))),
+            (0, None, BEcho(origin=0, round_index=0, body=(2.0,))),
+        ]
+        delivered = flood(procs, events)
+        bodies = {d[2] for dels in delivered.values() for d in dels}
+        assert bodies <= {(2.0,)}
+
+    def test_totality_when_origin_goes_silent(self):
+        # Origin crashes right after its initial fan-out: the correct
+        # processes' echoes alone reach quorum and everyone delivers.
+        procs = {i: BrachaBroadcast(i, 4, 1) for i in range(1, 4)}
+        payload = BBroadcast(origin=0, round_index=0, body=(7.0,))
+        delivered = flood(
+            procs, [(0, pid, payload) for pid in (1, 2, 3)], drop={0}
+        )
+        for pid in (1, 2, 3):
+            assert delivered[pid] == [(0, 0, (7.0,))]
+
+    def test_impersonated_broadcast_ignored(self):
+        # pid 2 relays a BBroadcast claiming origin 0: only the origin
+        # itself may open its instance.
+        rb = BrachaBroadcast(1, 4, 1)
+        fake = BBroadcast(origin=0, round_index=0, body=(9.0,))
+        out, delivered = rb.on_payload(fake, 2)
+        assert out == [] and delivered == []
+
+    def test_second_body_from_origin_not_echoed(self):
+        rb = BrachaBroadcast(1, 4, 1)
+        first = BBroadcast(origin=0, round_index=0, body=(1.0,))
+        second = BBroadcast(origin=0, round_index=0, body=(2.0,))
+        out1, _ = rb.on_payload(first, 0)
+        assert any(isinstance(p, BEcho) for _, p in out1)
+        out2, _ = rb.on_payload(second, 0)
+        assert out2 == []
+
+
+class TestInterface:
+    def test_non_rb_payload_rejected(self):
+        from repro.runtime.messages import InputTuple, freeze_point
+
+        rb = BrachaBroadcast(0, 4, 1)
+        bogus = SVInit(
+            entry=InputTuple(value=freeze_point([0.0]), sender=0)
+        )
+        with pytest.raises(TypeError, match="reliable-broadcast"):
+            rb.on_payload(bogus, 1)
+
+    def test_quorum_arithmetic(self):
+        rb = BrachaBroadcast(0, 7, 2)
+        assert rb.echo_quorum == 5  # ceil((7+2+1)/2)
+        assert rb.ready_amplify == 3
+        assert rb.deliver_quorum == 5
+
+    def test_delivered_count(self):
+        procs = make_procs(4, 1)
+        out, own = procs[0].broadcast(0, (1.0,))
+        flood(procs, [(0, dst, p) for dst, p in out])
+        assert procs[1].delivered_count() == 1

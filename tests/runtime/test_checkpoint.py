@@ -121,3 +121,109 @@ class TestDiskStore:
             store.save(0, {"bad": os})  # unserialisable payload
         assert store.load(0) == {"round": 1}
         assert [p.name for p in tmp_path.iterdir()] == ["ckpt-0.json"]
+
+
+class TestTamperDegradesToAmnesia:
+    """Disk damage between crash and revival must yield amnesia, counted.
+
+    The degrade path has two halves — the store turning damage into
+    ``None`` (plus a ``checkpoint_corruptions`` tick) and the
+    RecoveryManager turning ``None`` into an amnesia restart.  These
+    tests pin both halves together, end to end through a real run.
+    """
+
+    def test_stale_version_with_recomputed_checksum_is_still_amnesia(
+        self, tmp_path
+    ):
+        # The strongest stale-version case: the entry is internally
+        # consistent (digest recomputed over the tampered payload), so
+        # only the format gate can reject it.
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {"round": 3})
+        path = tmp_path / "ckpt-0.json"
+        entry = json.loads(path.read_text())
+        entry["format"] = SCHEMA_VERSION + 1
+        entry["data"]["round"] = 99
+        entry["sha256"] = checkpoint_digest(entry["data"])
+        path.write_text(json.dumps(entry))
+        corruptions0 = PERF.checkpoint_corruptions
+        assert store.load(0) is None
+        assert PERF.checkpoint_corruptions == corruptions0 + 1
+
+    def test_empty_file_partial_write_is_amnesia(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {"round": 3})
+        (tmp_path / "ckpt-0.json").write_text("")
+        corruptions0 = PERF.checkpoint_corruptions
+        assert store.load(0) is None
+        assert PERF.checkpoint_corruptions == corruptions0 + 1
+
+    def test_torn_write_degrades_durable_run_to_amnesia(self, tmp_path):
+        # End to end: a store whose files are torn after every save (the
+        # power-loss-mid-write model).  The durable plan must complete
+        # the run with the recoverer restarted amnesiac, never crash on
+        # the damaged file, and count each rejected load.
+        import numpy as np
+
+        from repro.core.runner import run_convex_hull_consensus
+        from repro.runtime.faults import AMNESIA, DURABLE, FaultPlan
+
+        class TornWriteStore(DiskCheckpointStore):
+            def save(self, key, data):
+                super().save(key, data)
+                path = self._path(key)
+                path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+        rng = np.random.default_rng(11)
+        inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+        plan = FaultPlan.crash_recover({4: (1, 1, 8)}, durability=DURABLE)
+        corruptions0 = PERF.checkpoint_corruptions
+        result = run_convex_hull_consensus(
+            inputs,
+            1,
+            0.2,
+            fault_plan=plan,
+            seed=3,
+            input_bounds=(-1.0, 1.0),
+            checkpoint_store=TornWriteStore(tmp_path),
+        )
+        proc = result.trace.processes[4]
+        assert proc.recovery_durability == AMNESIA
+        assert proc.restarts == 1
+        assert PERF.checkpoint_corruptions > corruptions0
+        assert 4 in result.report.recovered
+
+    def test_stale_version_degrades_durable_run_to_amnesia(self, tmp_path):
+        # Same end-to-end path, but the damage is a checksum-valid entry
+        # from a future schema version (downgrade-after-upgrade model).
+        import numpy as np
+
+        from repro.core.runner import run_convex_hull_consensus
+        from repro.runtime.faults import AMNESIA, DURABLE, FaultPlan
+
+        class FutureFormatStore(DiskCheckpointStore):
+            def save(self, key, data):
+                super().save(key, data)
+                path = self._path(key)
+                entry = json.loads(path.read_text())
+                entry["format"] = SCHEMA_VERSION + 1
+                entry["sha256"] = checkpoint_digest(entry["data"])
+                path.write_text(json.dumps(entry, sort_keys=True))
+
+        rng = np.random.default_rng(11)
+        inputs = rng.uniform(-1.0, 1.0, size=(5, 1))
+        plan = FaultPlan.crash_recover({4: (1, 1, 8)}, durability=DURABLE)
+        corruptions0 = PERF.checkpoint_corruptions
+        result = run_convex_hull_consensus(
+            inputs,
+            1,
+            0.2,
+            fault_plan=plan,
+            seed=3,
+            input_bounds=(-1.0, 1.0),
+            checkpoint_store=FutureFormatStore(tmp_path),
+        )
+        proc = result.trace.processes[4]
+        assert proc.recovery_durability == AMNESIA
+        assert proc.restarts == 1
+        assert PERF.checkpoint_corruptions > corruptions0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.runner import run_convex_hull_consensus
-from repro.runtime.faults import CrashSpec, FaultPlan
+from repro.runtime.faults import ByzantineSpec, CrashSpec, FaultPlan
 
 
 class TestConstructionChecks:
@@ -110,3 +110,99 @@ class TestRecoveryChecks:
     def test_has_durable_recovery(self):
         plan = FaultPlan.crash_recover({2: (0, 1, 4)})
         assert plan.has_durable_recovery
+
+
+class TestByzantineChecks:
+    """Coherence of the Byzantine fault axis (crash/Byzantine/bound)."""
+
+    def test_byzantine_for_non_faulty_process_rejected(self):
+        with pytest.raises(ValueError, match="non-faulty"):
+            FaultPlan(faulty=frozenset({1}), byzantine={2: ByzantineSpec()})
+
+    def test_both_crashed_and_byzantine_rejected(self):
+        with pytest.raises(ValueError, match="both crashed and Byzantine"):
+            FaultPlan(
+                faulty=frozenset({1}),
+                crashes={1: CrashSpec(0, 0)},
+                byzantine={1: ByzantineSpec()},
+            )
+
+    def test_crash_and_byzantine_on_distinct_pids_allowed(self):
+        plan = FaultPlan(
+            faulty=frozenset({1, 2}),
+            crashes={1: CrashSpec(0, 0)},
+            byzantine={2: ByzantineSpec()},
+        )
+        assert plan.validate(5) is plan
+
+    def test_non_byzantinespec_entry_caught(self):
+        plan = FaultPlan.byzantine_at([1])
+        plan.byzantine[1] = "equivocate"  # string instead of ByzantineSpec
+        with pytest.raises(ValueError, match="expected ByzantineSpec"):
+            plan.validate()
+
+    def test_count_above_f_rejected_only_with_f(self):
+        plan = FaultPlan.byzantine_at([0, 1])
+        with pytest.raises(ValueError, match="exceed the configured"):
+            plan.validate(7, f=1)
+        # Without f the count is deliberately unchecked — beyond-bound
+        # probes construct exactly this plan on purpose.
+        assert plan.validate(7) is plan
+
+    def test_below_byzantine_bound_rejected(self):
+        plan = FaultPlan.byzantine_at([0])
+        # d=1, f=1: max(3f+1, (d+2)f+1) = 4.
+        with pytest.raises(ValueError, match="Byzantine resilience bound"):
+            plan.validate(3, dim=1, f=1)
+        assert plan.validate(4, dim=1, f=1) is plan
+
+    def test_count_checked_without_dim(self):
+        # The crash algorithm under a Byzantine plan (the bound-gap
+        # probe) gets the count check but not the BCC bound check.
+        plan = FaultPlan.byzantine_at([0, 1])
+        with pytest.raises(ValueError, match="exceed the configured"):
+            plan.validate(4, f=1)
+
+    def test_empty_behaviors_rejected(self):
+        with pytest.raises(ValueError, match="at least one behavior"):
+            ByzantineSpec(behaviors=())
+
+    def test_unknown_behavior_rejected(self):
+        with pytest.raises(ValueError, match="unknown Byzantine behaviors"):
+            ByzantineSpec(behaviors=("lie",))
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            ByzantineSpec(rate=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            ByzantineSpec(rate=1.5)
+
+    def test_spec_json_roundtrip(self):
+        spec = ByzantineSpec(behaviors=("forge",), rate=0.5, magnitude=3.0, seed=9)
+        assert ByzantineSpec.from_json_dict(spec.to_json_dict()) == spec
+
+    def test_runner_rejects_beyond_bound_byzantine_count(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.uniform(-1.0, 1.0, size=(4, 1))
+        plan = FaultPlan.byzantine_at([0, 1])
+        with pytest.raises(ValueError, match="exceed the configured"):
+            run_convex_hull_consensus(
+                inputs, 1, 0.3, fault_plan=plan, algorithm="bcc"
+            )
+
+    def test_runner_rejects_bcc_below_bound_n(self):
+        from repro.core.config import ResilienceError
+
+        rng = np.random.default_rng(0)
+        inputs = rng.uniform(-1.0, 1.0, size=(3, 1))
+        with pytest.raises(ResilienceError):
+            run_convex_hull_consensus(inputs, 1, 0.3, algorithm="bcc")
+
+    def test_bcc_rejects_recovery_plans(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.uniform(-1.0, 1.0, size=(4, 1))
+        plan = FaultPlan.crash_recover({1: (0, 0, 5)})
+        with pytest.raises(ValueError, match="crash-recovery"):
+            run_convex_hull_consensus(
+                inputs, 1, 0.3, fault_plan=plan, algorithm="bcc"
+            )
